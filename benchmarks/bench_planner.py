@@ -1,0 +1,119 @@
+"""Planner accuracy: does the cost model pick the measured winner?
+
+The paper's pitch is that a transformed query "can now be passed to a
+query optimizer which will determine an efficient order and method for
+the evaluation" (section 10).  This benchmark closes that loop: across
+a sweep of inner-relation sizes and buffer sizes, the section-7 cost
+model chooses a strategy, both strategies are measured, and the
+choice is scored.  With ANALYZE statistics the planner must pick the
+measured winner in the clear-cut cases and stay within 2x of the best
+measured cost everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import compare_methods
+from repro.bench.reporting import format_table
+from repro.catalog.statistics import analyze_all
+from repro.optimizer.planner import Planner
+from repro.workloads.generators import (
+    GENERATED_JA_QUERY,
+    PartsSupplySpec,
+    build_parts_supply,
+)
+
+CONFIGS = [
+    # (num_supply, buffer_pages)
+    (20, 8),
+    (60, 4),
+    (150, 4),
+    (400, 6),
+    (800, 6),
+    (40, 16),
+]
+
+
+def run_config(num_supply: int, buffer_pages: int):
+    spec = PartsSupplySpec(
+        num_parts=40, num_supply=num_supply, rows_per_page=10,
+        buffer_pages=buffer_pages, seed=71,
+    )
+    catalog = build_parts_supply(spec)
+    analyze_all(catalog)
+    choice = Planner(catalog).choose(GENERATED_JA_QUERY)
+    ni, tr = compare_methods(catalog, GENERATED_JA_QUERY)
+    measured = {
+        "nested_iteration": ni.page_ios,
+        "transform": tr.page_ios,
+    }
+    winner = min(measured, key=measured.get)
+    return choice, measured, winner
+
+
+def test_planner_accuracy(benchmark, write_report):
+    def sweep():
+        return [
+            (ns, b, *run_config(ns, b)) for ns, b in CONFIGS
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    correct = 0
+    for num_supply, buffer_pages, choice, measured, winner in results:
+        picked_cost = measured[choice.method]
+        best_cost = measured[winner]
+        ok = choice.method == winner
+        correct += ok
+        rows.append(
+            [
+                num_supply,
+                buffer_pages,
+                choice.method,
+                winner,
+                measured["nested_iteration"],
+                measured["transform"],
+                "yes" if ok else f"no ({picked_cost}/{best_cost})",
+            ]
+        )
+        # Never catastrophically wrong: within 2x of the best strategy.
+        assert picked_cost <= 2 * best_cost, rows
+
+    write_report(
+        "planner_accuracy",
+        format_table(
+            ["SUPPLY rows", "B", "planner pick", "measured winner",
+             "NI I/Os", "TR I/Os", "correct"],
+            rows,
+            title="Planner accuracy across the sweep (with ANALYZE statistics)",
+        ),
+    )
+    # At least 5 of 6 configurations called correctly.
+    assert correct >= len(CONFIGS) - 1
+
+
+def test_statistics_never_hurt(benchmark):
+    """The stats-informed estimate is at least as accurate as the
+    magic-number estimate on the extreme configurations."""
+
+    def run():
+        outcomes = []
+        for num_supply, buffer_pages in ((20, 8), (800, 6)):
+            spec = PartsSupplySpec(
+                num_parts=40, num_supply=num_supply, rows_per_page=10,
+                buffer_pages=buffer_pages, seed=72,
+            )
+            catalog = build_parts_supply(spec)
+            blind = Planner(catalog).choose(GENERATED_JA_QUERY)
+            analyze_all(catalog)
+            informed = Planner(catalog).choose(GENERATED_JA_QUERY)
+            ni, tr = compare_methods(catalog, GENERATED_JA_QUERY)
+            measured = {
+                "nested_iteration": ni.page_ios, "transform": tr.page_ios
+            }
+            outcomes.append((blind, informed, measured))
+        return outcomes
+
+    for blind, informed, measured in benchmark.pedantic(run, rounds=1, iterations=1):
+        winner = min(measured, key=measured.get)
+        assert informed.method == winner

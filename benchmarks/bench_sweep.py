@@ -1,0 +1,110 @@
+"""Section 4's qualifier — "the comparative costs will of course vary
+with different queries and data base conditions".
+
+Two parameter sweeps locate where that variation flips the winner:
+
+* **inner-relation size**: when the inner relation fits in the buffer,
+  nested iteration's rescans are free and the transformation's sorts
+  and temp writes are pure overhead — nested iteration wins.  As the
+  inner relation outgrows the buffer, nested iteration degrades as
+  ``f(i)·Ni · Pj`` while the transformation stays near-linear: the
+  crossover the paper's cost functions predict.
+* **buffer size**: same query, growing ``B`` — nested iteration's cost
+  collapses once ``Pj ≤ B - 1``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import compare_methods
+from repro.bench.reporting import format_table
+from repro.workloads.generators import (
+    GENERATED_JA_QUERY,
+    PartsSupplySpec,
+    build_parts_supply,
+)
+
+
+def sweep_inner_size(sizes, buffer_pages=4):
+    results = []
+    for num_supply in sizes:
+        spec = PartsSupplySpec(
+            num_parts=40,
+            num_supply=num_supply,
+            rows_per_page=10,
+            buffer_pages=buffer_pages,
+            seed=21,
+        )
+        catalog = build_parts_supply(spec)
+        ni, tr = compare_methods(catalog, GENERATED_JA_QUERY)
+        results.append((num_supply, ni.page_ios, tr.page_ios))
+    return results
+
+
+def sweep_buffer(buffers, num_supply=300):
+    results = []
+    for buffer_pages in buffers:
+        spec = PartsSupplySpec(
+            num_parts=40,
+            num_supply=num_supply,
+            rows_per_page=10,
+            buffer_pages=buffer_pages,
+            seed=22,
+        )
+        catalog = build_parts_supply(spec)
+        ni, tr = compare_methods(catalog, GENERATED_JA_QUERY)
+        results.append((buffer_pages, ni.page_ios, tr.page_ios))
+    return results
+
+
+def test_inner_size_crossover(benchmark, write_report):
+    sizes = [20, 60, 150, 400, 1000]
+
+    def run():
+        return sweep_inner_size(sizes)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Small inner relation (fits in B-1 pages): nested iteration wins.
+    first = results[0]
+    assert first[1] < first[2], results
+    # Large inner relation: transformation wins decisively.
+    last = results[-1]
+    assert last[2] < last[1] / 5, results
+
+    write_report(
+        "sweep_inner_size",
+        format_table(
+            ["SUPPLY rows", "nested iteration I/Os", "transformation I/Os",
+             "winner"],
+            [
+                [n, ni, tr, "nested iteration" if ni < tr else "transformation"]
+                for n, ni, tr in results
+            ],
+            title="Crossover sweep: inner-relation size (B = 4 pages)",
+        ),
+    )
+
+
+def test_buffer_size_collapse(benchmark, write_report):
+    buffers = [3, 6, 12, 24, 40]
+
+    def run():
+        return sweep_buffer(buffers)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ni_costs = [ni for _, ni, _ in results]
+    # Nested iteration monotonically improves with buffer size and
+    # collapses once SUPPLY (30 pages) fits: the last configuration is
+    # at least 10x cheaper than the first.
+    assert ni_costs[-1] * 10 <= ni_costs[0]
+    assert all(a >= b for a, b in zip(ni_costs, ni_costs[1:]))
+
+    write_report(
+        "sweep_buffer",
+        format_table(
+            ["buffer pages B", "nested iteration I/Os", "transformation I/Os"],
+            [[b, ni, tr] for b, ni, tr in results],
+            title="Buffer sweep: nested iteration collapses once Pj <= B-1",
+        ),
+    )

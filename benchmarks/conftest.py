@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper, asserting
+the *shape* of the result (who wins, by roughly what factor) and
+writing a plain-text report under ``benchmarks/reports/`` so the
+numbers in EXPERIMENTS.md can be refreshed by re-running the suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(report_dir):
+    """Write (and echo) a named benchmark report."""
+
+    def writer(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report written to {path}]")
+
+    return writer

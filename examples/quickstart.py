@@ -1,0 +1,58 @@
+"""Quickstart: create a database, run a nested query both ways.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Database
+
+def main() -> None:
+    # A database is a simulated disk + a buffer pool of B pages.
+    # B matters: it is the paper's main-memory buffer space.
+    db = Database(buffer_pages=6)
+
+    # The PARTS/SUPPLY schema from the paper's section 5 (Kiessling).
+    db.create_table("PARTS", ["PNUM", "QOH"], primary_key=["PNUM"])
+    db.create_table("SUPPLY", ["PNUM", "QUAN", ("SHIPDATE", "date")])
+    db.insert("PARTS", [(3, 6), (10, 1), (8, 0)])
+    db.insert(
+        "SUPPLY",
+        [
+            (3, 4, "1979-07-03"),
+            (3, 2, "1978-10-01"),
+            (10, 1, "1978-06-08"),
+            (10, 2, "1981-08-10"),
+            (8, 5, "1983-05-07"),
+        ],
+    )
+
+    # Kiessling's query Q2: parts whose quantity-on-hand equals the
+    # number of shipments before 1980 — a type-JA nested query.
+    q2 = """
+        SELECT PNUM
+        FROM PARTS
+        WHERE QOH = (SELECT COUNT(SHIPDATE)
+                     FROM SUPPLY
+                     WHERE SUPPLY.PNUM = PARTS.PNUM AND
+                           SHIPDATE < '1980-01-01')
+    """
+
+    print("=== nested iteration (System R's strategy) ===")
+    baseline = db.run(q2, method="nested_iteration")
+    print("rows:", sorted(baseline.result.rows))
+    print(baseline.io.format())
+
+    print()
+    print("=== transformation (NEST-JA2 + merge joins) ===")
+    transformed = db.run(q2, method="transform")
+    print("rows:", sorted(transformed.result.rows))
+    print(transformed.io.format())
+
+    print()
+    print("=== what the optimizer did ===")
+    print(db.explain(q2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so ``pip install -e .`` works without the wheel package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path on environments whose setuptools cannot
+build wheels (no network, no ``wheel`` distribution).
+"""
+
+from setuptools import setup
+
+setup()

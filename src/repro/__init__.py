@@ -1,0 +1,55 @@
+"""repro — a reproduction of Ganski & Wong, *Optimization of Nested SQL
+Queries Revisited* (SIGMOD 1987).
+
+The package implements, from scratch:
+
+* a SQL frontend for the paper's dialect (:mod:`repro.sql`);
+* a page-based storage engine whose unit of cost — the disk page I/O —
+  is measured, not estimated (:mod:`repro.storage`);
+* System R-style nested iteration, the paper's baseline and semantic
+  oracle (:mod:`repro.engine`);
+* Kim's classification and transformation algorithms, the paper's bug
+  demonstrations, the corrected **NEST-JA2**, the section-8 predicate
+  extensions, and the recursive **NEST-G** (:mod:`repro.core`);
+* the section-7 analytical cost model and a single-level plan executor
+  (:mod:`repro.optimizer`);
+* the paper's exact example instances plus synthetic workload
+  generators (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database(buffer_pages=8)
+    db.create_table("PARTS", ["PNUM", "QOH"])
+    db.insert("PARTS", [(3, 6), (10, 1), (8, 0)])
+    print(db.query("SELECT PNUM FROM PARTS WHERE QOH > 0").rows)
+"""
+
+from repro.api import Database
+from repro.core.classify import NestingType
+from repro.core.pipeline import Engine, RunReport
+from repro.engine.nested_iteration import QueryResult
+from repro.errors import ReproError
+from repro.optimizer.cost import CostParameters, ja2_costs, nested_iteration_cost
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+from repro.storage.stats import IOStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostParameters",
+    "Database",
+    "Engine",
+    "IOStats",
+    "NestingType",
+    "QueryResult",
+    "ReproError",
+    "RunReport",
+    "__version__",
+    "ja2_costs",
+    "nested_iteration_cost",
+    "parse",
+    "to_sql",
+]

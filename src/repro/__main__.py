@@ -1,0 +1,262 @@
+"""Interactive shell: ``python -m repro``.
+
+A small SQL REPL over a fresh :class:`~repro.api.Database`.  Statements
+end with ``;``.  Backslash commands control the session::
+
+    \\load kiessling        load a paper instance (kiessling | operator |
+                            duplicates | suppliers)
+    \\method M              nested_iteration | transform | auto | cost
+    \\join M                merge | nested (for transformed plans)
+    \\explain SELECT ...;   show the NEST-G transformation plan
+    \\plan SELECT ...;      show the cost-based planner's estimates
+    \\analyze [TABLE]       collect optimizer statistics
+    \\index TABLE COLUMN    build an index (used by nested iteration)
+    \\tables                list tables
+    \\io                    cumulative page-I/O counters
+    \\reset                 zero the counters and cool the cache
+    \\help                  this text
+    \\quit                  exit
+
+Example session::
+
+    $ python -m repro
+    repro> \\load kiessling
+    repro> SELECT PNUM FROM PARTS
+    .....> WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY
+    .....>              WHERE SUPPLY.PNUM = PARTS.PNUM
+    .....>                AND SHIPDATE < '1980-01-01');
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.api import Database
+from repro.bench.reporting import format_table
+from repro.errors import ReproError
+from repro.workloads import paper_data
+
+BANNER = (
+    "repro — Optimization of Nested SQL Queries Revisited (SIGMOD 1987)\n"
+    "Type \\help for commands; statements end with ';'."
+)
+
+PROMPT = "repro> "
+CONTINUATION = ".....> "
+
+_LOADERS = {
+    "kiessling": (
+        paper_data.load_kiessling_instance,
+        "section 5.1 PARTS/SUPPLY (the COUNT-bug instance)",
+    ),
+    "operator": (
+        paper_data.load_operator_bug_instance,
+        "section 5.3 PARTS/SUPPLY (query Q5's instance)",
+    ),
+    "duplicates": (
+        paper_data.load_duplicates_instance,
+        "section 5.4 PARTS/SUPPLY (duplicate outer PNUMs)",
+    ),
+    "suppliers": (
+        paper_data.load_supplier_parts,
+        "the introduction's S / P / SP database",
+    ),
+}
+
+
+class Shell:
+    """State and command dispatch for the REPL."""
+
+    def __init__(self, out=sys.stdout) -> None:
+        self.db = Database(buffer_pages=8)
+        self.method = "auto"
+        self.out = out
+        self.done = False
+
+    # -- I/O helpers ---------------------------------------------------------
+
+    def say(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def handle(self, line: str) -> None:
+        stripped = line.strip()
+        if not stripped:
+            return
+        if stripped.startswith("\\"):
+            self._command(stripped)
+        else:
+            self._statement(stripped)
+
+    def _command(self, line: str) -> None:
+        parts = line.split(None, 1)
+        name = parts[0][1:].lower()
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        handler = getattr(self, f"_cmd_{name}", None)
+        if handler is None:
+            self.say(f"unknown command \\{name}; try \\help")
+            return
+        handler(argument)
+
+    # -- commands --------------------------------------------------------------
+
+    def _cmd_help(self, _argument: str) -> None:
+        self.say(__doc__.replace("\\\\", "\\"))
+
+    def _cmd_quit(self, _argument: str) -> None:
+        self.done = True
+
+    def _cmd_exit(self, _argument: str) -> None:
+        self.done = True
+
+    def _cmd_load(self, argument: str) -> None:
+        loader = _LOADERS.get(argument.lower())
+        if loader is None:
+            self.say(f"unknown instance {argument!r}; "
+                     f"options: {', '.join(sorted(_LOADERS))}")
+            return
+        factory, description = loader
+        catalog = factory(buffer_pages=self.db.buffer.capacity)
+        # Rebind the session database to the loaded catalog.
+        self.db.catalog = catalog
+        self.db.buffer = catalog.buffer
+        self.db.disk = catalog.buffer.disk
+        self.db.engine.catalog = catalog
+        self.say(f"loaded {description}")
+        self.say(f"tables: {', '.join(catalog.table_names())}")
+
+    def _cmd_method(self, argument: str) -> None:
+        if argument not in ("nested_iteration", "transform", "auto", "cost"):
+            self.say("method must be nested_iteration | transform | auto | cost")
+            return
+        self.method = argument
+        self.say(f"evaluation method: {argument}")
+
+    def _cmd_join(self, argument: str) -> None:
+        if argument not in ("merge", "nested"):
+            self.say("join method must be merge | nested")
+            return
+        self.db.engine.join_method = argument
+        self.say(f"transformed-plan join method: {argument}")
+
+    def _cmd_tables(self, _argument: str) -> None:
+        names = self.db.tables()
+        if not names:
+            self.say("(no tables; try \\load kiessling)")
+            return
+        for name in names:
+            entry = self.db.catalog.get(name)
+            self.say(
+                f"{name}({', '.join(entry.schema.column_names)}) — "
+                f"{entry.heap.num_rows} rows, {entry.heap.num_pages} pages"
+            )
+
+    def _cmd_index(self, argument: str) -> None:
+        parts = argument.split()
+        if len(parts) != 2:
+            self.say("usage: \\index TABLE COLUMN")
+            return
+        try:
+            self.db.create_index(parts[0], parts[1])
+        except ReproError as error:
+            self.say(f"error: {error}")
+            return
+        self.say(f"index built on {parts[0].upper()}.{parts[1].upper()}")
+
+    def _cmd_analyze(self, argument: str) -> None:
+        try:
+            self.db.analyze(argument or None)
+        except ReproError as error:
+            self.say(f"error: {error}")
+            return
+        analyzed = argument.upper() if argument else "all tables"
+        self.say(f"statistics collected for {analyzed}")
+
+    def _cmd_io(self, _argument: str) -> None:
+        self.say(self.db.io_stats().format())
+
+    def _cmd_reset(self, _argument: str) -> None:
+        self.db.cold_cache()
+        self.db.reset_io_stats()
+        self.say("counters zeroed, cache cold")
+
+    def _cmd_explain(self, argument: str) -> None:
+        if not argument:
+            self.say("usage: \\explain SELECT ...;")
+            return
+        try:
+            self.say(self.db.explain(argument.rstrip(";")))
+        except ReproError as error:
+            self.say(f"error: {error}")
+
+    def _cmd_plan(self, argument: str) -> None:
+        """Show the cost-based planner's estimates for a query."""
+        if not argument:
+            self.say("usage: \\plan SELECT ...;")
+            return
+        from repro.optimizer.planner import Planner
+
+        try:
+            choice = Planner(self.db.catalog).choose(argument.rstrip(";"))
+        except ReproError as error:
+            self.say(f"error: {error}")
+            return
+        self.say(choice.describe())
+
+    # -- statements ------------------------------------------------------------
+
+    def _statement(self, sql: str) -> None:
+        try:
+            before = self.db.io_stats()
+            outcome = self.db.execute(sql, method=self.method)
+            delta = self.db.io_stats() - before
+        except ReproError as error:
+            self.say(f"error: {error}")
+            return
+        if isinstance(outcome, str):
+            self.say(outcome)
+            return
+        if outcome.rows:
+            self.say(format_table(outcome.columns,
+                                  [list(row) for row in outcome.rows]))
+        self.say(f"({len(outcome.rows)} row(s), {delta.format()})")
+
+
+def repl(stdin=sys.stdin, stdout=sys.stdout) -> int:
+    """Run the interactive loop; returns the process exit code."""
+    shell = Shell(out=stdout)
+    shell.say(BANNER)
+    buffer: list[str] = []
+    interactive = stdin.isatty()
+
+    while not shell.done:
+        prompt = CONTINUATION if buffer else PROMPT
+        if interactive:
+            try:
+                line = input(prompt)
+            except (EOFError, KeyboardInterrupt):
+                shell.say()
+                break
+        else:
+            line = stdin.readline()
+            if not line:
+                break
+            line = line.rstrip("\n")
+
+        stripped = line.strip()
+        if not buffer and stripped.startswith("\\"):
+            shell.handle(stripped)
+            continue
+        buffer.append(line)
+        if stripped.endswith(";"):
+            shell.handle(" ".join(buffer))
+            buffer.clear()
+
+    if buffer:
+        shell.handle(" ".join(buffer))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(repl())

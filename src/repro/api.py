@@ -1,0 +1,205 @@
+"""Public API: the :class:`Database` facade.
+
+A :class:`Database` bundles a simulated disk, a buffer pool of ``B``
+pages, a catalog, and a query engine.  It is the entry point the
+examples and benchmarks use::
+
+    from repro import Database
+
+    db = Database(buffer_pages=8)
+    db.create_table("PARTS", ["PNUM", "QOH"], primary_key=["PNUM"])
+    db.insert("PARTS", [(3, 6), (10, 1), (8, 0)])
+
+    result = db.query("SELECT PNUM FROM PARTS WHERE QOH > 0")
+    report = db.run("SELECT ...", method="transform")   # rows + page I/O
+    print(db.explain("SELECT ..."))                      # NEST-G plan
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, TableSchema
+from repro.core.pipeline import Engine, RunReport
+from repro.engine.nested_iteration import QueryResult
+from repro.errors import CatalogError, ReproError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.stats import IOStats
+
+#: Accepted column-type spellings for :meth:`Database.create_table`.
+_TYPE_NAMES = {
+    "int": ColumnType.INT,
+    "integer": ColumnType.INT,
+    "float": ColumnType.FLOAT,
+    "real": ColumnType.FLOAT,
+    "text": ColumnType.TEXT,
+    "string": ColumnType.TEXT,
+    "date": ColumnType.DATE,
+    "any": ColumnType.ANY,
+}
+
+
+class Database:
+    """An in-memory, page-accounted database with nested-query optimization.
+
+    Args:
+        buffer_pages: the buffer pool size ``B`` (the paper's
+            main-memory buffer space; default 32).
+        join_method: ``"merge"`` (sort-merge, the paper's choice) or
+            ``"nested"`` for transformed plans.
+        ja_algorithm: ``"ja2"`` (the paper's corrected NEST-JA2) or
+            ``"kim"`` to reproduce the original buggy NEST-JA.
+        dedupe_inner: apply the inner-side duplicate-elimination fix-up
+            to uncorrelated IN subqueries (see DESIGN.md).
+        dedupe_outer: apply the rowid-based semijoin fix-up that
+            restores nested-iteration multiplicities after a type-J
+            merge (the modern answer to Kim's Lemma-1 caveat).
+    """
+
+    def __init__(
+        self,
+        buffer_pages: int = 32,
+        join_method: str = "merge",
+        ja_algorithm: str = "ja2",
+        dedupe_inner: bool = False,
+        dedupe_outer: bool = False,
+    ) -> None:
+        self.disk = DiskManager()
+        self.buffer = BufferPool(self.disk, capacity=buffer_pages)
+        self.catalog = Catalog(self.buffer)
+        self.engine = Engine(
+            self.catalog,
+            join_method=join_method,
+            ja_algorithm=ja_algorithm,
+            dedupe_inner=dedupe_inner,
+            dedupe_outer=dedupe_outer,
+        )
+
+    # -- DDL / DML -------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[str | tuple[str, str]],
+        primary_key: Sequence[str] = (),
+        rows_per_page: int | None = None,
+    ) -> None:
+        """Create a table.
+
+        Columns are names (INT by default) or ``(name, type)`` pairs
+        with type one of int/float/text/date.  ``rows_per_page``
+        controls page geometry — fix it when an experiment needs a
+        relation to occupy a specific number of pages.
+        """
+        built: list[Column] = []
+        for spec in columns:
+            if isinstance(spec, str):
+                built.append(Column(spec.upper()))
+            else:
+                column_name, type_name = spec
+                ctype = _TYPE_NAMES.get(type_name.lower())
+                if ctype is None:
+                    raise CatalogError(f"unknown column type {type_name!r}")
+                built.append(Column(column_name.upper(), ctype))
+        table_schema = TableSchema(
+            name.upper(),
+            tuple(built),
+            tuple(key.upper() for key in primary_key),
+        )
+        self.catalog.create_table(table_schema, rows_per_page=rows_per_page)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name.upper())
+
+    def insert(self, table: str, rows: Iterable[tuple]) -> int:
+        """Insert rows; returns the number inserted."""
+        return self.catalog.insert(table.upper(), rows)
+
+    def tables(self) -> list[str]:
+        return self.catalog.table_names()
+
+    def create_index(self, table: str, column: str) -> None:
+        """Build an ISAM index on ``table.column``.
+
+        Nested iteration probes registered indexes automatically (the
+        System R access-path accelerator), and the cost-based planner
+        takes them into account.  Indexes are rebuilt after inserts.
+        """
+        self.catalog.create_index(table.upper(), column.upper())
+
+    def analyze(self, table: str | None = None) -> None:
+        """Collect optimizer statistics (ANALYZE), one table or all.
+
+        Statistics sharpen the cost-based planner's selectivity and
+        temp-size estimates; the collecting scans are charged page I/O
+        like any other scan.
+        """
+        from repro.catalog.statistics import analyze_all, analyze_table
+
+        if table is None:
+            analyze_all(self.catalog)
+        else:
+            analyze_table(self.catalog, table.upper())
+
+    # -- statements ----------------------------------------------------------
+
+    def execute(self, sql: str, method: str = "auto") -> QueryResult | str:
+        """Execute any statement: SELECT, CREATE TABLE, INSERT, DROP.
+
+        SELECT returns a :class:`QueryResult`; DDL/DML statements return
+        a short status message.
+        """
+        from repro.sql.ast import Select
+        from repro.sql.statements import (
+            CreateTable,
+            DropTable,
+            InsertValues,
+            parse_statement,
+        )
+
+        statement = parse_statement(sql)
+        if isinstance(statement, Select):
+            return self.engine.run(statement, method=method).result
+        if isinstance(statement, CreateTable):
+            self.create_table(
+                statement.name,
+                [(name, ctype) for name, ctype in statement.columns],
+                primary_key=statement.primary_key,
+            )
+            return f"created table {statement.name.upper()}"
+        if isinstance(statement, InsertValues):
+            count = self.insert(statement.table, statement.rows)
+            return f"inserted {count} row(s) into {statement.table.upper()}"
+        if isinstance(statement, DropTable):
+            self.drop_table(statement.name)
+            return f"dropped table {statement.name.upper()}"
+        raise ReproError(f"unsupported statement: {statement!r}")
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, sql: str, method: str = "auto") -> QueryResult:
+        """Run a query, returning just the result rows."""
+        return self.engine.run(sql, method=method).result
+
+    def run(self, sql: str, method: str = "transform") -> RunReport:
+        """Run a query, returning the full report (rows, I/O, trace)."""
+        return self.engine.run(sql, method=method)
+
+    def explain(self, sql: str) -> str:
+        """The transformation plan NEST-G produces for a query."""
+        return self.engine.explain(sql)
+
+    # -- statistics ----------------------------------------------------------
+
+    def io_stats(self) -> IOStats:
+        """Cumulative page I/O since construction (or the last reset)."""
+        return self.buffer.stats()
+
+    def reset_io_stats(self) -> None:
+        self.buffer.reset_stats()
+
+    def cold_cache(self) -> None:
+        """Flush and empty the buffer pool (for repeatable measurements)."""
+        self.buffer.evict_all()

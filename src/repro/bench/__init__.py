@@ -1,0 +1,12 @@
+"""Benchmark harness: measured runs, paper-vs-measured reporting."""
+
+from repro.bench.harness import MeasuredRun, compare_methods, measure
+from repro.bench.reporting import format_table, savings_percent
+
+__all__ = [
+    "MeasuredRun",
+    "compare_methods",
+    "format_table",
+    "measure",
+    "savings_percent",
+]

@@ -1,0 +1,6 @@
+"""Schemas and the table catalog."""
+
+from repro.catalog.catalog import Catalog, TableEntry
+from repro.catalog.schema import Column, ColumnType, TableSchema
+
+__all__ = ["Catalog", "Column", "ColumnType", "TableEntry", "TableSchema"]

@@ -1,0 +1,171 @@
+"""The table catalog: schemas bound to heap files.
+
+One :class:`Catalog` owns one buffer pool and hence one simulated disk;
+a catalog is the unit the executors and benchmarks operate on.  Query
+transformations create *temporary tables* (the paper's ``Rt``, ``Rt2``,
+``Rt3`` ...) through :meth:`Catalog.create_temp_name` and drop them
+after the final join.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.catalog.schema import TableSchema
+from repro.errors import CatalogError
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+
+
+@dataclass
+class TableEntry:
+    """A catalog entry: schema plus backing heap file."""
+
+    schema: TableSchema
+    heap: HeapFile
+    is_temp: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+
+class Catalog:
+    """Name → table mapping over a shared buffer pool."""
+
+    def __init__(self, buffer: BufferPool) -> None:
+        self.buffer = buffer
+        self._tables: dict[str, TableEntry] = {}
+        self._temp_counter = 0
+        #: Populated by repro.catalog.statistics.analyze_table.
+        self.statistics: dict[str, "object"] = {}
+        #: (table, column) → IsamIndex, via create_index().
+        self.indexes: dict[tuple[str, str], "object"] = {}
+
+    # -- DDL -------------------------------------------------------------
+
+    def create_table(
+        self,
+        table_schema: TableSchema,
+        rows_per_page: int | None = None,
+        is_temp: bool = False,
+    ) -> TableEntry:
+        """Create an empty table; ``rows_per_page`` overrides page sizing."""
+        name = table_schema.name
+        if name in self._tables:
+            raise CatalogError(f"table {name} already exists")
+        capacity = rows_per_page or table_schema.default_rows_per_page()
+        heap = HeapFile(self.buffer, rows_per_page=capacity, name=name)
+        entry = TableEntry(schema=table_schema, heap=heap, is_temp=is_temp)
+        self._tables[name] = entry
+        return entry
+
+    def drop_table(self, name: str) -> None:
+        entry = self._require(name)
+        for key in [k for k in self.indexes if k[0] == name]:
+            self.indexes[key].drop()
+            del self.indexes[key]
+        entry.heap.truncate()
+        del self._tables[name]
+        self.statistics.pop(name, None)
+
+    def create_index(self, table: str, column: str):
+        """Build (or rebuild) an ISAM index on ``table.column``.
+
+        The build scans the table once (charged page I/O).  Returns the
+        index, which is also registered for the executors and planner.
+        """
+        from repro.storage.index import IsamIndex
+
+        entry = self._require(table)
+        key = (table, column)
+        if key in self.indexes:
+            self.indexes[key].drop()
+        index = IsamIndex(
+            entry.heap,
+            key_column=entry.schema.column_index(column),
+            buffer=self.buffer,
+            name=f"idx_{table}_{column}",
+        )
+        self.indexes[key] = index
+        return index
+
+    def index_for(self, table: str, column: str):
+        """The registered index on ``table.column``, or None."""
+        return self.indexes.get((table, column))
+
+    def drop_temp_tables(self) -> None:
+        """Drop every temporary table (end-of-query cleanup)."""
+        for name in [n for n, e in self._tables.items() if e.is_temp]:
+            self.drop_table(name)
+
+    def register_temp(self, name: str, heap: HeapFile, column_names: list[str]) -> TableEntry:
+        """Register an already-materialized heap as a temporary table.
+
+        Used by the transformation pipeline: a temp relation built by
+        the physical executor becomes queryable by name (the paper's
+        ``Rt``/``TEMP3`` step).  Columns are typed permissively — the
+        values were produced by the engine, not user input.
+        """
+        from repro.catalog.schema import Column, ColumnType, TableSchema
+
+        if name in self._tables:
+            raise CatalogError(f"table {name} already exists")
+        table_schema = TableSchema(
+            name, tuple(Column(c, ColumnType.ANY) for c in column_names)
+        )
+        heap.name = name
+        entry = TableEntry(schema=table_schema, heap=heap, is_temp=True)
+        self._tables[name] = entry
+        return entry
+
+    def create_temp_name(self, prefix: str = "TEMP") -> str:
+        """Return a fresh name for a transformation temp table."""
+        while True:
+            self._temp_counter += 1
+            name = f"{prefix}_{self._temp_counter}"
+            if name not in self._tables:
+                return name
+
+    # -- DML -------------------------------------------------------------
+
+    def insert(self, name: str, rows: Iterable[tuple]) -> int:
+        """Validate and append rows; returns the number inserted."""
+        entry = self._require(name)
+        count = 0
+        for row in rows:
+            tupled = tuple(row)
+            entry.schema.validate_row(tupled)
+            entry.heap.append(tupled)
+            count += 1
+        entry.heap.close_writes()
+        if count:
+            # Indexes are static (ISAM): rebuild after a batch insert.
+            for (table, _column), index in self.indexes.items():
+                if table == name:
+                    index.build()
+        return count
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, name: str) -> TableEntry:
+        return self._require(name)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def schema_of(self, name: str) -> TableSchema:
+        return self._require(name).schema
+
+    def heap_of(self, name: str) -> HeapFile:
+        return self._require(name).heap
+
+    def _require(self, name: str) -> TableEntry:
+        entry = self._tables.get(name)
+        if entry is None:
+            raise CatalogError(f"no such table: {name}")
+        return entry

@@ -1,0 +1,130 @@
+"""Shared analysis for the type-JA transformations (NEST-JA, NEST-JA2).
+
+Both algorithms begin the same way: take the inner query block apart
+into its aggregate SELECT item, its *correlated join predicates* (the
+paper's ``R2.Cn op R1.Cp``), and its *simple predicates* (local to the
+inner relations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransformError
+from repro.sql.analysis import ColumnResolver
+from repro.sql.ast import (
+    MIRRORED_OPS,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    Select,
+    Star,
+    column_refs,
+    conjuncts,
+)
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """A correlated join predicate, oriented as ``inner op outer``.
+
+    ``SUPPLY.PNUM < PARTS.PNUM`` becomes ``(SUPPLY.PNUM, "<",
+    PARTS.PNUM)`` — the operator reads left-to-right from the inner
+    column to the outer column, the direction the paper's section 5.3
+    examples use.
+    """
+
+    inner_col: ColumnRef
+    op: str
+    outer_col: ColumnRef
+
+
+@dataclass
+class InnerBlockParts:
+    """Decomposition of a type-JA inner query block."""
+
+    aggregate: FuncCall
+    join_preds: list[JoinPredicate]
+    simple_preds: list[Expr]
+
+
+def decompose_inner_block(
+    inner: Select, has_column: ColumnResolver
+) -> InnerBlockParts:
+    """Split a type-JA inner block into aggregate + join + simple parts.
+
+    Raises :class:`TransformError` for shapes the paper's algorithms do
+    not define: non-aggregate SELECT, correlated predicates that are
+    not simple column comparisons, aggregates over expressions, etc.
+    """
+    aggregate = _single_aggregate(inner)
+    local = set(inner.table_bindings)
+
+    join_preds: list[JoinPredicate] = []
+    simple_preds: list[Expr] = []
+    for conjunct in conjuncts(inner.where):
+        sides = {
+            _side(ref, local, has_column) for ref in column_refs(conjunct)
+        }
+        if sides <= {"inner"}:
+            simple_preds.append(conjunct)
+            continue
+        join_preds.append(_as_join_predicate(conjunct, local, has_column))
+
+    if not join_preds:
+        raise TransformError(
+            "inner block has no correlated join predicate (type-A, not JA)"
+        )
+    return InnerBlockParts(aggregate, join_preds, simple_preds)
+
+
+def _single_aggregate(inner: Select) -> FuncCall:
+    if len(inner.items) != 1:
+        raise TransformError("type-JA inner block must select exactly one item")
+    expr = inner.items[0].expr
+    if not (isinstance(expr, FuncCall) and expr.is_aggregate):
+        raise TransformError(
+            "type-JA inner block must select a single aggregate function"
+        )
+    if not isinstance(expr.arg, (ColumnRef, Star)):
+        raise TransformError("aggregate argument must be a column or *")
+    if isinstance(expr.arg, Star) and expr.name != "COUNT":
+        raise TransformError(f"{expr.name}(*) is not valid SQL")
+    if inner.group_by or inner.having or inner.distinct:
+        raise TransformError(
+            "inner blocks with GROUP BY/HAVING/DISTINCT are not supported"
+        )
+    return expr
+
+
+def _side(ref: ColumnRef, local: set[str], has_column: ColumnResolver) -> str:
+    if ref.table is not None:
+        return "inner" if ref.table in local else "outer"
+    if any(has_column(binding, ref.column) for binding in local):
+        return "inner"
+    return "outer"
+
+
+def _as_join_predicate(
+    conjunct: Expr, local: set[str], has_column: ColumnResolver
+) -> JoinPredicate:
+    if not (
+        isinstance(conjunct, Comparison)
+        and isinstance(conjunct.left, ColumnRef)
+        and isinstance(conjunct.right, ColumnRef)
+    ):
+        raise TransformError(
+            f"correlated predicate is not a simple column comparison: {conjunct!r}"
+        )
+    left_side = _side(conjunct.left, local, has_column)
+    right_side = _side(conjunct.right, local, has_column)
+    if {left_side, right_side} != {"inner", "outer"}:
+        raise TransformError(
+            "join predicate must compare an inner column with an outer column"
+        )
+    if left_side == "inner":
+        return JoinPredicate(conjunct.left, conjunct.op, conjunct.right)
+    return JoinPredicate(
+        conjunct.right, MIRRORED_OPS[conjunct.op], conjunct.left
+    )

@@ -1,0 +1,381 @@
+"""The recursive general transformation — procedure ``nest_g`` (section 9).
+
+The paper models a nested query as a multi-way tree of query blocks and
+transforms it by a *direct postorder recursive algorithm*: descend to
+the innermost blocks, then, unwinding, apply the appropriate
+transformation between each block and its parent:
+
+* inner SELECT has an aggregate and a correlated join predicate →
+  **type-JA**: ``nest_ja2()`` then immediately ``nest_nj()``;
+* inner SELECT has an aggregate, no correlation → **type-A**: evaluate
+  the block once and replace it with the resulting constant;
+* no aggregate → **type-N/J**: ``nest_nj()``.
+
+Because the recursion transforms children first, a join predicate that
+spans several levels (the paper's Figure 2, where block E references a
+table of block A across the aggregate block B) is *inherited* upward by
+the NEST-N-J merges until it sits directly inside the aggregate block —
+at which point the single-level NEST-JA2 applies.  This is the paper's
+resolution of Kiessling's "correlation level greater than 1" concern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.catalog.catalog import Catalog
+from repro.core.classify import catalog_resolver, ensure_transformable
+from repro.core.nest_ja import apply_nest_ja
+from repro.core.nest_ja2 import apply_nest_ja2
+from repro.core.nest_nj import apply_nest_nj, dedupe_inner_setup
+from repro.core.transform import TempTableDef
+from repro.errors import TransformError
+from repro.sql.analysis import is_correlated
+from repro.sql.ast import (
+    Comparison,
+    Expr,
+    InSubquery,
+    Literal,
+    MIRRORED_OPS,
+    ScalarSubquery,
+    Select,
+    conjuncts,
+    make_and,
+    walk,
+)
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class GeneralTransform:
+    """Result of running ``nest_g`` on a query.
+
+    Attributes:
+        setup: temp-table definitions in build order.
+        query: the canonical (single-level) query.
+        trace: step-by-step description of the transformation.
+        built: how many of ``setup`` were already materialized during
+            transformation (to evaluate type-A blocks that referenced
+            earlier temps); the pipeline builds the rest.
+        root_tables: the root block's original FROM clause, before any
+            merges (used by the ``dedupe_outer`` multiplicity fix-up).
+        root_fanout_merge: True when a NEST-N-J merge at the root level
+            may have changed output multiplicities (a type-J merge, or
+            a type-N merge without inner dedup) — the Lemma-1 caveat.
+    """
+
+    setup: list[TempTableDef]
+    query: Select
+    trace: list[str]
+    built: int = 0
+    root_tables: tuple = ()
+    root_fanout_merge: bool = False
+
+
+def nest_g(
+    select: Select,
+    catalog: Catalog,
+    ja_algorithm: str = "ja2",
+    dedupe_inner: bool = False,
+    join_method: str = "merge",
+) -> GeneralTransform:
+    """Transform an arbitrarily nested query to canonical form.
+
+    Args:
+        select: the (possibly nested) query; extended predicates
+            (EXISTS/ANY/ALL) must already be rewritten.
+        catalog: resolves schemas; type-A blocks are evaluated against
+            it (System R behaviour), as are any temp tables they need.
+        ja_algorithm: ``"ja2"`` (the paper's corrected algorithm) or
+            ``"kim"`` (the original, bug-reproducing NEST-JA).
+        dedupe_inner: project uncorrelated IN-subquery results
+            duplicate-free before merging (the DESIGN.md multiset
+            fix-up; off by default for paper fidelity).
+        join_method: join method used when temp tables must be built
+            during transformation (for type-A evaluation).
+    """
+    driver = _NestG(catalog, ja_algorithm, dedupe_inner, join_method)
+    canonical = driver.transform(select, env={}, is_root=True)
+    _check_canonical(canonical)
+    return GeneralTransform(
+        setup=driver.setup,
+        query=canonical,
+        trace=driver.trace,
+        built=driver.built,
+        root_tables=select.from_tables,
+        root_fanout_merge=driver.root_fanout_merge,
+    )
+
+
+class _NestG:
+    def __init__(
+        self,
+        catalog: Catalog,
+        ja_algorithm: str,
+        dedupe_inner: bool,
+        join_method: str,
+    ) -> None:
+        if ja_algorithm not in ("ja2", "kim"):
+            raise TransformError(f"unknown JA algorithm {ja_algorithm!r}")
+        self.catalog = catalog
+        self.ja_algorithm = ja_algorithm
+        self.dedupe_inner = dedupe_inner
+        self.join_method = join_method
+        self.setup: list[TempTableDef] = []
+        self.trace: list[str] = []
+        self.built = 0
+        self.root_fanout_merge = False
+        self._has_column = catalog_resolver(catalog)
+
+    # -- recursion ---------------------------------------------------------
+
+    def transform(
+        self, block: Select, env: dict[str, str], is_root: bool = False
+    ) -> Select:
+        """Postorder transformation of one query block."""
+        ensure_transformable(block)
+        block = _normalize_scalar_sides(block)
+
+        while True:
+            found = self._first_nested_conjunct(block)
+            if found is None:
+                return block
+            node = found
+            inner = _inner_of(node)
+
+            inner_env = dict(env)
+            for ref in block.from_tables:
+                inner_env[ref.binding] = ref.name
+            transformed_inner = self.transform(inner, inner_env)
+            if transformed_inner is not inner:
+                new_node = _with_inner(node, transformed_inner)
+                block = _replace_conjunct(block, node, new_node)
+                node = new_node
+                inner = transformed_inner
+
+            block = self._dispatch(block, node, inner, env, inner_env, is_root)
+
+    def _dispatch(
+        self,
+        block: Select,
+        node: Expr,
+        inner: Select,
+        env: dict[str, str],
+        inner_env: dict[str, str],
+        is_root: bool = False,
+    ) -> Select:
+        visible = tuple(inner_env)
+        has_column = self._resolver_for(inner_env)
+        correlated = is_correlated(inner, has_column, visible)
+        aggregated = inner.has_aggregate_select()
+
+        if aggregated and correlated:
+            return self._apply_ja(block, node, inner, inner_env, has_column)
+        if aggregated:
+            return self._apply_a(block, node, inner)
+        if isinstance(node, InSubquery) and node.negated:
+            if correlated:
+                raise TransformError(
+                    "correlated NOT IN cannot be transformed "
+                    "(no canonical join captures anti-join semantics)"
+                )
+            return self._apply_a(block, node, inner)
+        if not correlated and self.dedupe_inner and isinstance(node, InSubquery):
+            temp_name = self.catalog.create_temp_name("NTEMP")
+            temp, new_node = dedupe_inner_setup(node, temp_name)
+            self.setup.append(temp)
+            self.trace.append(f"NEST-N dedup: {temp.describe()}")
+            block = _replace_conjunct(block, node, new_node)
+            merged = apply_nest_nj(block, new_node)
+            self.trace.append("NEST-N-J: merged deduplicated inner block")
+            return merged
+        label = "type-J" if correlated else "type-N"
+        if is_root:
+            # A plain NEST-N-J merge at the root can fan out outer rows
+            # (the Lemma-1 multiset caveat); remember so the pipeline's
+            # dedupe_outer fix-up can restore multiplicities.
+            self.root_fanout_merge = True
+        merged = apply_nest_nj(block, node)
+        self.trace.append(f"NEST-N-J ({label}): merged inner block")
+        return merged
+
+    def _apply_ja(
+        self,
+        block: Select,
+        node: Expr,
+        inner: Select,
+        inner_env: dict[str, str],
+        has_column,
+    ) -> Select:
+        if isinstance(node, InSubquery) and not node.negated:
+            # The aggregate yields a single row, so IN degenerates to =.
+            converted = Comparison(node.operand, "=", ScalarSubquery(inner))
+            block = _replace_conjunct(block, node, converted)
+            node = converted
+        if not isinstance(node, Comparison):
+            raise TransformError(
+                "type-JA nesting requires a scalar comparison predicate"
+            )
+        fresh = lambda: self.catalog.create_temp_name("TEMP")
+        if self.ja_algorithm == "ja2":
+            result = apply_nest_ja2(
+                inner,
+                has_column,
+                fresh,
+                outer_tables=inner_env,
+                outer_block=block,
+            )
+        else:
+            result = apply_nest_ja(inner, has_column, fresh())
+        self.setup.extend(result.setup)
+        self.trace.extend(result.trace)
+
+        new_node = _with_inner(node, result.query)
+        block = _replace_conjunct(block, node, new_node)
+        merged = apply_nest_nj(block, new_node)
+        self.trace.append("NEST-N-J: merged rewritten (type-J) inner block")
+        return merged
+
+    def _apply_a(self, block: Select, node: Expr, inner: Select) -> Select:
+        """Type-A: evaluate the inner block once, substitute the result."""
+        rows = self._evaluate(inner)
+        if isinstance(node, InSubquery):
+            values = tuple(Literal(row[0]) for row in rows)
+            from repro.sql.ast import InList
+
+            replacement: Expr = InList(node.operand, values, node.negated)
+            self.trace.append(
+                f"NEST-A: inner block evaluated to list of {len(values)} value(s)"
+            )
+        else:
+            assert isinstance(node, Comparison)
+            if len(rows) > 1:
+                from repro.errors import CardinalityError
+
+                raise CardinalityError(
+                    f"scalar subquery returned {len(rows)} rows: {to_sql(inner)}"
+                )
+            value = rows[0][0] if rows else None
+            replacement = Comparison(node.left, node.op, Literal(value))
+            self.trace.append(f"NEST-A: inner block evaluated to constant {value!r}")
+        return _replace_conjunct(block, node, replacement)
+
+    def _evaluate(self, inner: Select) -> list[tuple]:
+        """Evaluate an uncorrelated block, building pending temps first."""
+        self._build_pending_setup()
+        from repro.engine.nested_iteration import NestedIterationExecutor
+
+        return NestedIterationExecutor(self.catalog).execute(inner).rows
+
+    def _build_pending_setup(self) -> None:
+        from repro.optimizer.executor import SingleLevelExecutor
+
+        while self.built < len(self.setup):
+            definition = self.setup[self.built]
+            executor = SingleLevelExecutor(self.catalog, self.join_method)
+            relation = executor.execute(definition.query)
+            self.catalog.register_temp(
+                definition.name,
+                relation.heap,
+                executor.output_names(definition.query),
+            )
+            self.trace.append(f"built {definition.name} (needed for NEST-A)")
+            self.built += 1
+
+    # -- helpers -------------------------------------------------------------
+
+    def _first_nested_conjunct(self, block: Select) -> Expr | None:
+        for conjunct in conjuncts(block.where):
+            if _embeds(conjunct):
+                return conjunct
+        return None
+
+    def _resolver_for(self, env: dict[str, str]):
+        base = self._has_column
+
+        def has_column(binding: str, column: str) -> bool:
+            table = env.get(binding)
+            if table is not None and self.catalog.has_table(table):
+                return self.catalog.schema_of(table).has_column(column)
+            return base(binding, column)
+
+        return has_column
+
+
+# ---------------------------------------------------------------------------
+# AST surgery helpers
+# ---------------------------------------------------------------------------
+
+
+def _embeds(expr: Expr) -> bool:
+    if isinstance(expr, InSubquery):
+        return True
+    if isinstance(expr, Comparison):
+        return isinstance(expr.right, ScalarSubquery) or isinstance(
+            expr.left, ScalarSubquery
+        )
+    return False
+
+
+def _inner_of(node: Expr) -> Select:
+    if isinstance(node, InSubquery):
+        return node.query
+    if isinstance(node, Comparison) and isinstance(node.right, ScalarSubquery):
+        return node.right.query
+    raise TransformError(f"not a nested predicate: {node!r}")
+
+
+def _with_inner(node: Expr, new_inner: Select) -> Expr:
+    if isinstance(node, InSubquery):
+        return replace(node, query=new_inner)
+    if isinstance(node, Comparison) and isinstance(node.right, ScalarSubquery):
+        return Comparison(node.left, node.op, ScalarSubquery(new_inner), node.outer)
+    raise TransformError(f"not a nested predicate: {node!r}")
+
+
+def _replace_conjunct(block: Select, old: Expr, new: Expr) -> Select:
+    parts: list[Expr] = []
+    hit = False
+    for conjunct in conjuncts(block.where):
+        if conjunct is old:
+            parts.append(new)
+            hit = True
+        else:
+            parts.append(conjunct)
+    if not hit:
+        raise TransformError("conjunct to replace was not found")
+    return replace(block, where=make_and(parts))
+
+
+def _normalize_scalar_sides(block: Select) -> Select:
+    """Mirror ``(SELECT ...) op x`` to ``x op' (SELECT ...)``."""
+    changed = False
+    parts: list[Expr] = []
+    for conjunct in conjuncts(block.where):
+        if (
+            isinstance(conjunct, Comparison)
+            and isinstance(conjunct.left, ScalarSubquery)
+            and not isinstance(conjunct.right, ScalarSubquery)
+        ):
+            parts.append(
+                Comparison(
+                    conjunct.right,
+                    MIRRORED_OPS[conjunct.op],
+                    conjunct.left,
+                    conjunct.outer,
+                )
+            )
+            changed = True
+        else:
+            parts.append(conjunct)
+    if not changed:
+        return block
+    return replace(block, where=make_and(parts))
+
+
+def _check_canonical(block: Select) -> None:
+    for node in walk(block):
+        if isinstance(node, Select) and node is not block:
+            raise TransformError(
+                "transformation left a nested block behind: " + to_sql(node)
+            )

@@ -1,0 +1,105 @@
+"""Kim's original algorithm NEST-JA (paper section 3.2) — **kept buggy
+on purpose**.
+
+    Algorithm NEST-JA
+    1. Generate a temporary relation Rt(C1,...,Cn,Cn+1) from R2 such
+       that Rt.Cn+1 is the result of applying the aggregate function
+       AGG on the Cn+1 column of R2 [grouped by the join columns].
+    2. Transform the inner query block by changing all references to R2
+       columns in join predicates to the corresponding Rt columns.  The
+       result is a type-J nested query, which can be passed to
+       algorithm NEST-N-J.
+
+This implementation is deliberately faithful to [KIM 82:455-456] so the
+paper's three bugs reproduce exactly:
+
+* **COUNT bug** (section 5.1): the temp table is built by grouping the
+  inner relation alone, so groups that are empty for some outer tuple
+  simply do not exist — COUNT can never be 0 and such outer tuples are
+  silently lost (Kiessling's Q2 returns ∅ instead of {10, 8});
+* **non-equality bug** (section 5.3): the temp groups by the *inner*
+  join column even when the join operator is ``<``/``>``/..., so it
+  aggregates per inner value instead of over the operator's range;
+* **duplicates bug** (section 5.4): not applicable here (Kim's temp
+  never joins the outer relation), but the corresponding bug appears in
+  a naive outer-join fix and is demonstrated in the tests for NEST-JA2.
+
+Use :mod:`repro.core.nest_ja2` for the corrected algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.core._ja_common import decompose_inner_block
+from repro.core.transform import TempTableDef, TransformResult
+from repro.sql.analysis import ColumnResolver
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+    make_and,
+)
+
+
+def apply_nest_ja(
+    inner: Select,
+    has_column: ColumnResolver,
+    temp_name: str,
+) -> TransformResult:
+    """Rewrite a type-JA inner block per Kim's (buggy) NEST-JA.
+
+    Args:
+        inner: the inner query block (aggregate SELECT plus correlated
+            join predicates).
+        has_column: schema resolver for attributing column references.
+        temp_name: name for the temporary relation Rt.
+
+    Returns:
+        A :class:`TransformResult` whose ``setup`` builds Rt and whose
+        ``query`` is the rewritten inner block — now type-J: it selects
+        Rt's aggregate column and joins Rt to the outer relation with
+        the *original* operators (preserving Kim's bug for non-equality
+        operators).
+    """
+    parts = decompose_inner_block(inner, has_column)
+
+    # Step 1 — Rt: group the inner relation by its own join columns,
+    # applying only the simple predicates.  (This is where the COUNT
+    # bug lives: no outer join, no outer projection.)
+    group_items = tuple(
+        SelectItem(pred.inner_col, alias=f"C{i + 1}")
+        for i, pred in enumerate(parts.join_preds)
+    )
+    agg_item = SelectItem(parts.aggregate, alias="CAGG")
+    temp_query = Select(
+        items=group_items + (agg_item,),
+        from_tables=inner.from_tables,
+        where=make_and(parts.simple_preds),
+        group_by=tuple(pred.inner_col for pred in parts.join_preds),
+    )
+    temp = TempTableDef(temp_name, temp_query)
+
+    # Step 2 — rewrite the inner block to reference Rt.  Join-predicate
+    # references to inner columns become Rt columns; the operator is
+    # kept as-is (Kim), which is exactly the section 5.3 bug.
+    rewritten_preds: list[Expr] = [
+        Comparison(ColumnRef(temp_name, f"C{i + 1}"), pred.op, pred.outer_col)
+        for i, pred in enumerate(parts.join_preds)
+    ]
+    rewritten = Select(
+        items=(SelectItem(ColumnRef(temp_name, "CAGG"), alias="CAGG"),),
+        from_tables=(TableRef(temp_name),),
+        where=make_and(rewritten_preds),
+    )
+
+    trace = [
+        f"NEST-JA (Kim): {temp.describe()}",
+        "NEST-JA (Kim): inner block rewritten to reference "
+        f"{temp_name} (operators preserved)",
+    ]
+    return TransformResult(setup=[temp], query=rewritten, trace=trace)

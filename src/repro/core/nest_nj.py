@@ -1,0 +1,149 @@
+"""Kim's algorithm NEST-N-J (paper section 3.1).
+
+    Algorithm NEST-N-J
+    1. Combine the FROM clauses of all query blocks into one FROM clause.
+    2. AND together the WHERE clauses of all query blocks,
+       replacing IS IN by =.
+    3. Retain the SELECT clause of the outermost query block.
+
+The algorithm applies to type-N and type-J nested predicates (no
+aggregate in the inner SELECT).  It merges *one* nested predicate at a
+time; the recursive driver (NEST-G) walks multi-level queries.
+
+Faithfulness note (see DESIGN.md, "NEST-N-J and duplicates"): replacing
+``IN`` by ``=`` preserves *set* semantics (Kim's Lemma 1) but can
+change multiplicities when the inner relation holds duplicate values in
+the projected column.  The pipeline offers an optional inner-side
+deduplication for the uncorrelated (type-N) case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.transform import TempTableDef
+from repro.errors import TransformError
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    Expr,
+    InSubquery,
+    MIRRORED_OPS,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    TableRef,
+    conjuncts,
+    make_and,
+)
+
+
+def apply_nest_nj(outer: Select, node: Expr) -> Select:
+    """Merge one nested predicate's inner block into ``outer``.
+
+    Args:
+        outer: the outer query block; ``node`` must be one of its WHERE
+            conjuncts.
+        node: the nested predicate (``x IN (SELECT ...)`` or a scalar
+            comparison against a non-aggregate subquery).
+
+    Returns:
+        The combined single-block query: outer SELECT clause, merged
+        FROM clauses, ANDed WHERE clauses with the nested predicate
+        replaced by a join predicate.
+    """
+    inner, join_pred = _join_predicate(node)
+    _check_inner_block(inner)
+
+    collisions = set(outer.table_bindings) & set(inner.table_bindings)
+    if collisions:
+        raise TransformError(
+            f"FROM clauses collide on bindings {sorted(collisions)}; "
+            "alias the inner tables first"
+        )
+
+    new_conjuncts: list[Expr] = []
+    replaced = False
+    for conjunct in conjuncts(outer.where):
+        if conjunct is node:
+            new_conjuncts.append(join_pred)
+            replaced = True
+        else:
+            new_conjuncts.append(conjunct)
+    if not replaced:
+        raise TransformError("nested predicate is not a conjunct of the outer WHERE")
+    new_conjuncts.extend(conjuncts(inner.where))
+
+    return replace(
+        outer,
+        from_tables=outer.from_tables + inner.from_tables,
+        where=make_and(new_conjuncts),
+    )
+
+
+def dedupe_inner_setup(
+    node: InSubquery, temp_name: str
+) -> tuple[TempTableDef, InSubquery]:
+    """Optional type-N fix-up: project the inner result duplicate-free.
+
+    Returns a temp-table definition ``temp_name = SELECT DISTINCT item
+    FROM inner...`` and a rewritten predicate ``x IN (SELECT C1 FROM
+    temp_name)``, so that the subsequent NEST-N-J join cannot inflate
+    multiplicities.  Only valid for *uncorrelated* inner blocks.
+    """
+    inner = node.query
+    item = _single_item(inner)
+    temp_query = replace(
+        inner,
+        items=(SelectItem(item, alias="C1"),),
+        distinct=True,
+    )
+    new_inner = Select(
+        items=(SelectItem(ColumnRef(temp_name, "C1"), alias="C1"),),
+        from_tables=(TableRef(temp_name),),
+    )
+    return (
+        TempTableDef(temp_name, temp_query),
+        InSubquery(node.operand, new_inner, node.negated),
+    )
+
+
+def _join_predicate(node: Expr) -> tuple[Select, Expr]:
+    """The inner block and the join predicate that replaces the nesting."""
+    if isinstance(node, InSubquery):
+        if node.negated:
+            raise TransformError(
+                "NOT IN cannot be transformed by NEST-N-J "
+                "(no canonical join captures anti-join semantics)"
+            )
+        inner = node.query
+        return inner, Comparison(node.operand, "=", _single_item(inner))
+    if isinstance(node, Comparison):
+        if isinstance(node.right, ScalarSubquery):
+            inner = node.right.query
+            return inner, Comparison(node.left, node.op, _single_item(inner))
+        if isinstance(node.left, ScalarSubquery):
+            inner = node.left.query
+            return inner, Comparison(
+                _single_item(inner), MIRRORED_OPS[node.op], node.right
+            )
+    raise TransformError(f"not a type-N/J nested predicate: {node!r}")
+
+
+def _single_item(inner: Select) -> Expr:
+    if len(inner.items) != 1:
+        raise TransformError("inner block must select exactly one item")
+    return inner.items[0].expr
+
+
+def _check_inner_block(inner: Select) -> None:
+    if inner.has_aggregate_select():
+        raise TransformError(
+            "inner block has an aggregate SELECT; use NEST-JA2 (type-A/JA)"
+        )
+    if inner.group_by or inner.having:
+        raise TransformError("inner blocks with GROUP BY/HAVING are not supported")
+    if inner.distinct:
+        raise TransformError(
+            "inner DISTINCT would be lost by NEST-N-J; not supported"
+        )

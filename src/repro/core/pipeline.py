@@ -1,0 +1,377 @@
+"""End-to-end query pipeline: parse → rewrite → transform → execute.
+
+:class:`Engine` is the orchestrator the examples and benchmarks use.
+It offers the two evaluation strategies the paper compares:
+
+* ``method="nested_iteration"`` — System R's strategy (the baseline);
+* ``method="transform"`` — rewrite the query with section 8's predicate
+  extensions, run NEST-G (NEST-A / NEST-N-J / NEST-JA2), build the temp
+  tables, and evaluate the canonical query with the chosen join method;
+* ``method="auto"`` — try the transformation, fall back to nested
+  iteration for queries outside the algorithms' reach.
+
+Every run returns a :class:`RunReport` with the result rows, the page
+I/O consumed (the paper's cost measure), and the transformation trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.core.classify import catalog_resolver
+from repro.core.nest_g import GeneralTransform, nest_g
+from repro.core.predicates import rewrite_extended_predicates
+from repro.engine.nested_iteration import NestedIterationExecutor, QueryResult
+from repro.errors import ReproError, TransformError
+from repro.optimizer.executor import SingleLevelExecutor
+from repro.sql.ast import Select
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+from repro.storage.stats import IOStats
+
+
+@dataclass
+class RunReport:
+    """Everything a benchmark wants to know about one query run."""
+
+    result: QueryResult
+    io: IOStats
+    method: str
+    join_method: str | None = None
+    canonical_sql: str | None = None
+    setup_sql: list[str] = field(default_factory=list)
+    trace: list[str] = field(default_factory=list)
+    steps: list[str] = field(default_factory=list)
+    temp_pages: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [f"method: {self.method}"]
+        if self.join_method:
+            lines.append(f"join method: {self.join_method}")
+        for sql in self.setup_sql:
+            lines.append(f"setup: {sql}")
+        if self.canonical_sql:
+            lines.append(f"canonical: {self.canonical_sql}")
+        lines.append(self.io.format())
+        return "\n".join(lines)
+
+
+def prepare_query(
+    select: Select, catalog: Catalog, exists_count_mode: str = "star"
+) -> Select:
+    """Qualify all column references and rewrite extended predicates.
+
+    Shared by the pipeline and the planner so both reason about the
+    same normalized tree.
+    """
+    from repro.sql.analysis import ColumnResolver
+    from repro.sql.ast import TableRef, walk
+    from repro.sql.qualify import qualify
+
+    from repro.errors import CatalogError
+
+    bindings: dict[str, str] = {}
+    for node in walk(select):
+        if isinstance(node, TableRef):
+            if not catalog.has_table(node.name):
+                raise CatalogError(f"no such table: {node.name}")
+            previous = bindings.setdefault(node.binding, node.name)
+            if previous != node.name:
+                raise TransformError(
+                    f"binding {node.binding!r} refers to different tables "
+                    "in different blocks; rename the aliases"
+                )
+    base = catalog_resolver(catalog)
+
+    def has_column(binding: str, column: str) -> bool:
+        table = bindings.get(binding)
+        if table is not None and catalog.has_table(table):
+            return catalog.schema_of(table).has_column(column)
+        return base(binding, column)
+
+    def list_columns(binding: str) -> list[str] | None:
+        table = bindings.get(binding, binding)
+        if catalog.has_table(table):
+            return list(catalog.schema_of(table).column_names)
+        return None
+
+    qualified = qualify(select, has_column, list_columns=list_columns)
+    return rewrite_extended_predicates(qualified, exists_count_mode)
+
+
+class Engine:
+    """Runs queries against a catalog by either evaluation strategy."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        join_method: str = "merge",
+        ja_algorithm: str = "ja2",
+        dedupe_inner: bool = False,
+        dedupe_outer: bool = False,
+        exists_count_mode: str = "star",
+    ) -> None:
+        self.catalog = catalog
+        self.join_method = join_method
+        self.ja_algorithm = ja_algorithm
+        self.dedupe_inner = dedupe_inner
+        self.dedupe_outer = dedupe_outer
+        self.exists_count_mode = exists_count_mode
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, query: str | Select, method: str = "transform") -> RunReport:
+        """Execute a query and report rows plus page I/O."""
+        select = parse(query) if isinstance(query, str) else query
+        if method == "nested_iteration":
+            return self._run_nested_iteration(select)
+        if method == "transform":
+            return self._run_transform(select)
+        if method == "auto":
+            try:
+                return self._run_transform(select)
+            except TransformError:
+                return self._run_nested_iteration(select)
+        if method == "cost":
+            return self._run_cost_based(select)
+        raise ReproError(f"unknown method {method!r}")
+
+    def transform(self, query: str | Select) -> GeneralTransform:
+        """Transform without executing the final query.
+
+        Temp tables needed to evaluate type-A blocks are built eagerly
+        (and left registered); callers that only inspect the plan can
+        drop them with ``catalog.drop_temp_tables()``.
+        """
+        select = parse(query) if isinstance(query, str) else query
+        rewritten = self._prepare(select)
+        return nest_g(
+            rewritten,
+            self.catalog,
+            ja_algorithm=self.ja_algorithm,
+            dedupe_inner=self.dedupe_inner,
+            join_method=self.join_method,
+        )
+
+    def explain(self, query: str | Select) -> str:
+        """Human-readable transformation plan for a query."""
+        from repro.sql.printer import to_sql_pretty
+
+        select = parse(query) if isinstance(query, str) else query
+        transform = self.transform(select)
+        lines = ["-- original query", to_sql_pretty(self._prepare(select)), ""]
+        lines.append("-- transformation trace")
+        lines.extend(f"--   {line}" for line in transform.trace)
+        lines.append("-- temp tables")
+        for definition in transform.setup:
+            lines.append(definition.describe())
+        lines.append("-- canonical query")
+        lines.append(to_sql(transform.query))
+        self.catalog.drop_temp_tables()
+        return "\n".join(lines)
+
+    # -- strategies ------------------------------------------------------------
+
+    def _maybe_dedupe_outer(
+        self, transform: GeneralTransform
+    ) -> tuple[Select, int]:
+        """Apply the rowid multiplicity fix-up to the canonical query.
+
+        When a NEST-N-J merge at the root may have fanned out outer
+        rows and ``dedupe_outer`` is on, rewrite the canonical query to
+        ``SELECT DISTINCT rid(T1), ..., rid(Tk), <items> ...`` using
+        the implicit rowid of each original outer table; the caller
+        strips the leading rowid columns.  DISTINCT over unique rowids
+        collapses the fan-out to exactly one row per surviving outer
+        tuple — restoring nested-iteration multiplicities even when
+        outer rows are value-identical.  See DESIGN.md.
+
+        Returns the (possibly rewritten) query and the number of
+        leading columns to strip.
+        """
+        from dataclasses import replace as dc_replace
+
+        from repro.engine.relation import ROWID_COLUMN
+        from repro.sql.ast import ColumnRef, SelectItem
+
+        query = transform.query
+        if not (self.dedupe_outer and transform.root_fanout_merge):
+            return query, 0
+        if query.group_by or query.has_aggregate_select() or query.distinct:
+            # Aggregated root: dedup must happen *before* aggregation
+            # (the fan-out would corrupt COUNT/SUM/AVG).  Materialize
+            # the deduplicated outer rows into a temp, then aggregate
+            # over it.
+            return self._dedupe_outer_aggregated(transform), 0
+        rid_items = tuple(
+            SelectItem(ColumnRef(ref.binding, ROWID_COLUMN), alias=f"RID{i}")
+            for i, ref in enumerate(transform.root_tables)
+        )
+        rewritten = dc_replace(
+            query, items=rid_items + query.items, distinct=True
+        )
+        return rewritten, len(rid_items)
+
+    def _dedupe_outer_aggregated(self, transform: GeneralTransform) -> Select:
+        """Pre-aggregation dedup: stage distinct outer rows in a temp.
+
+        ``SELECT agg(...) FROM O, ... WHERE W [GROUP BY g]`` becomes::
+
+            TEMP_D = SELECT DISTINCT rid(O), O.c1, ..., O.ck
+                     FROM O, ... WHERE W
+            SELECT agg(...') FROM TEMP_D [GROUP BY g']
+
+        where the primes rewrite O's column references to TEMP_D's.
+        Supported for a single original outer table (the common shape);
+        multiple outer tables would need disambiguated staging columns.
+        """
+        from dataclasses import replace as dc_replace
+
+        from repro.engine.relation import ROWID_COLUMN
+        from repro.sql.ast import ColumnRef, SelectItem, TableRef, walk
+
+        query = transform.query
+        if len(transform.root_tables) != 1:
+            raise TransformError(
+                "dedupe_outer with aggregation supports a single outer table"
+            )
+        outer_binding = transform.root_tables[0].binding
+        outer_table = transform.root_tables[0].name
+        outer_columns = self.catalog.schema_of(outer_table).column_names
+
+        temp_name = self.catalog.create_temp_name("DTEMP")
+        staging_items = (
+            SelectItem(ColumnRef(outer_binding, ROWID_COLUMN), alias="RID"),
+        ) + tuple(
+            SelectItem(ColumnRef(outer_binding, column), alias=column)
+            for column in outer_columns
+        )
+        staging = Select(
+            items=staging_items,
+            from_tables=query.from_tables,
+            where=query.where,
+            distinct=True,
+        )
+
+        executor = SingleLevelExecutor(self.catalog, self.join_method)
+        relation = executor.execute(staging)
+        self.catalog.register_temp(
+            temp_name, relation.heap, executor.output_names(staging)
+        )
+
+        def rewrite(expr):
+            from repro.sql import ast as A
+
+            if isinstance(expr, ColumnRef):
+                if expr.table == outer_binding:
+                    return ColumnRef(temp_name, expr.column)
+                return expr
+            rebuilt = expr
+            if isinstance(expr, A.FuncCall) and not isinstance(expr.arg, A.Star):
+                rebuilt = A.FuncCall(expr.name, rewrite(expr.arg), expr.distinct)
+            elif isinstance(expr, A.Comparison):
+                rebuilt = A.Comparison(
+                    rewrite(expr.left), expr.op, rewrite(expr.right), expr.outer
+                )
+            elif isinstance(expr, A.And):
+                rebuilt = A.And(tuple(rewrite(op) for op in expr.operands))
+            elif isinstance(expr, A.Or):
+                rebuilt = A.Or(tuple(rewrite(op) for op in expr.operands))
+            elif isinstance(expr, A.Not):
+                rebuilt = A.Not(rewrite(expr.operand))
+            return rebuilt
+
+        return Select(
+            items=tuple(
+                SelectItem(rewrite(item.expr), item.alias) for item in query.items
+            ),
+            from_tables=(TableRef(temp_name),),
+            group_by=tuple(rewrite(expr) for expr in query.group_by),
+            having=rewrite(query.having) if query.having is not None else None,
+            distinct=query.distinct,
+        )
+
+    def _prepare(self, select: Select) -> Select:
+        """Qualify all column references, then rewrite extended predicates."""
+        return prepare_query(select, self.catalog, self.exists_count_mode)
+
+    def _run_nested_iteration(self, select: Select) -> RunReport:
+        before = self.catalog.buffer.stats()
+        result = NestedIterationExecutor(self.catalog).execute(select)
+        io = self.catalog.buffer.stats() - before
+        return RunReport(result=result, io=io, method="nested_iteration")
+
+    def _run_cost_based(self, select: Select) -> RunReport:
+        """Let the section-7 cost model pick the strategy (SEL 79 style)."""
+        from repro.optimizer.planner import Planner
+
+        choice = Planner(self.catalog).choose(select)
+        if choice.method == "nested_iteration":
+            report = self._run_nested_iteration(select)
+        else:
+            saved = self.join_method
+            self.join_method = choice.join_method or saved
+            try:
+                report = self._run_transform(select)
+            except TransformError:
+                report = self._run_nested_iteration(select)
+            finally:
+                self.join_method = saved
+        report.trace = [*choice.describe().splitlines(), *report.trace]
+        return report
+
+    def _run_transform(self, select: Select) -> RunReport:
+        before = self.catalog.buffer.stats()
+        try:
+            rewritten = self._prepare(select)
+            transform = nest_g(
+                rewritten,
+                self.catalog,
+                ja_algorithm=self.ja_algorithm,
+                dedupe_inner=self.dedupe_inner,
+                join_method=self.join_method,
+            )
+
+            steps: list[str] = []
+            temp_pages: dict[str, int] = {}
+            for definition in transform.setup[: transform.built]:
+                temp_pages[definition.name] = self.catalog.heap_of(
+                    definition.name
+                ).num_pages
+            for definition in transform.setup[transform.built :]:
+                executor = SingleLevelExecutor(self.catalog, self.join_method)
+                relation = executor.execute(definition.query)
+                self.catalog.register_temp(
+                    definition.name,
+                    relation.heap,
+                    executor.output_names(definition.query),
+                )
+                steps.append(f"built {definition.name}: " + "; ".join(executor.steps))
+                temp_pages[definition.name] = relation.num_pages
+
+            final_query, strip = self._maybe_dedupe_outer(transform)
+            final = SingleLevelExecutor(self.catalog, self.join_method)
+            relation = final.execute(final_query)
+            steps.append("final: " + "; ".join(final.steps))
+            rows = relation.to_list()
+            if strip:
+                rows = [row[strip:] for row in rows]
+            result = QueryResult(
+                columns=final.output_names(transform.query),
+                rows=rows,
+            )
+            io = self.catalog.buffer.stats() - before
+            return RunReport(
+                result=result,
+                io=io,
+                method="transform",
+                join_method=self.join_method,
+                canonical_sql=to_sql(transform.query),
+                setup_sql=[d.describe() for d in transform.setup],
+                trace=transform.trace,
+                steps=steps,
+                temp_pages=temp_pages,
+            )
+        finally:
+            self.catalog.drop_temp_tables()

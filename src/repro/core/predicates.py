@@ -1,0 +1,155 @@
+"""Section 8 — transforming EXISTS, NOT EXISTS, ANY, and ALL.
+
+Each extended predicate is rewritten to a scalar-aggregate nested
+predicate, after which it is a type-A or type-JA predicate and the
+regular algorithms apply:
+
+* ``EXISTS (Q)``      →  ``0 < (SELECT COUNT(...) ...)``
+* ``NOT EXISTS (Q)``  →  ``0 = (SELECT COUNT(...) ...)``
+* ``x < ANY (Q)``     →  ``x < (SELECT MAX(item) ...)``   (also ``<=``)
+* ``x < ALL (Q)``     →  ``x < (SELECT MIN(item) ...)``   (also ``<=``)
+* ``x > ANY (Q)``     →  ``x > (SELECT MIN(item) ...)``   (also ``>=``)
+* ``x > ALL (Q)``     →  ``x > (SELECT MAX(item) ...)``   (also ``>=``)
+* ``x = ANY (Q)`` → ``x IN (Q)`` and ``x <> ALL (Q)`` → ``x NOT IN (Q)``
+  (normalized by the parser already).
+
+Semantic caveats (the paper itself says "logically (but not necessarily
+semantically) equivalent", section 8.2) — all demonstrated in the test
+suite:
+
+* with an **empty** inner result, ``x < ALL (∅)`` is *true* while the
+  rewritten ``x < (SELECT MIN(...))`` compares against NULL and is
+  unknown (rejects the tuple);
+* **NULLs in the inner column** are ignored by MIN/MAX but participate
+  in ANY/ALL comparisons as unknowns;
+* for EXISTS the paper counts ``COUNT(selitems)``, which undercounts
+  when the selected column is NULL; the default here is the always-
+  correct ``COUNT(*)`` (pass ``exists_count_mode="paper"`` for the
+  literal behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import TransformError
+from repro.sql.ast import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    Quantified,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    Star,
+)
+
+#: op, quantifier → aggregate for the section 8.2 table.
+_QUANTIFIER_AGG = {
+    ("<", "ANY"): "MAX",
+    ("<=", "ANY"): "MAX",
+    (">", "ANY"): "MIN",
+    (">=", "ANY"): "MIN",
+    ("<", "ALL"): "MIN",
+    ("<=", "ALL"): "MIN",
+    (">", "ALL"): "MAX",
+    (">=", "ALL"): "MAX",
+}
+
+
+def rewrite_extended_predicates(
+    select: Select, exists_count_mode: str = "star"
+) -> Select:
+    """Rewrite every EXISTS / NOT EXISTS / ANY / ALL in a query tree."""
+    if exists_count_mode not in ("star", "paper"):
+        raise TransformError(f"unknown exists_count_mode {exists_count_mode!r}")
+    return _rewrite_select(select, exists_count_mode)
+
+
+def _rewrite_select(select: Select, mode: str) -> Select:
+    where = _rewrite_expr(select.where, mode) if select.where is not None else None
+    having = (
+        _rewrite_expr(select.having, mode) if select.having is not None else None
+    )
+    return replace(select, where=where, having=having)
+
+
+def _rewrite_expr(expr: Expr, mode: str) -> Expr:
+    if isinstance(expr, And):
+        return And(tuple(_rewrite_expr(op, mode) for op in expr.operands))
+    if isinstance(expr, Or):
+        return Or(tuple(_rewrite_expr(op, mode) for op in expr.operands))
+    if isinstance(expr, Not):
+        inner = expr.operand
+        if isinstance(inner, Exists):
+            return _exists_to_count(inner.query, negated=not inner.negated, mode=mode)
+        return Not(_rewrite_expr(inner, mode))
+    if isinstance(expr, Exists):
+        return _exists_to_count(expr.query, negated=expr.negated, mode=mode)
+    if isinstance(expr, Quantified):
+        return _quantified_to_aggregate(expr, mode)
+    if isinstance(expr, InSubquery):
+        return replace(expr, query=_rewrite_select(expr.query, mode))
+    if isinstance(expr, Comparison):
+        return Comparison(
+            _rewrite_scalar(expr.left, mode),
+            expr.op,
+            _rewrite_scalar(expr.right, mode),
+            expr.outer,
+        )
+    if isinstance(expr, (IsNull, Between, InList)):
+        return expr
+    return expr
+
+
+def _rewrite_scalar(expr: Expr, mode: str) -> Expr:
+    if isinstance(expr, ScalarSubquery):
+        return ScalarSubquery(_rewrite_select(expr.query, mode))
+    return expr
+
+
+def _exists_to_count(query: Select, negated: bool, mode: str) -> Comparison:
+    """``[NOT] EXISTS (Q)`` → ``0 < COUNT`` / ``0 = COUNT`` (section 8.1)."""
+    inner = _rewrite_select(query, mode)
+    count_arg: Expr = Star()
+    if mode == "paper" and len(inner.items) == 1 and isinstance(
+        inner.items[0].expr, ColumnRef
+    ):
+        count_arg = inner.items[0].expr
+    counting = replace(
+        inner,
+        items=(SelectItem(FuncCall("COUNT", count_arg), alias="CNT"),),
+    )
+    op = "=" if negated else "<"
+    return Comparison(Literal(0), op, ScalarSubquery(counting))
+
+
+def _quantified_to_aggregate(pred: Quantified, mode: str) -> Comparison:
+    """``x op ANY|ALL (Q)`` → scalar comparison with MIN/MAX (section 8.2)."""
+    agg = _QUANTIFIER_AGG.get((pred.op, pred.quantifier))
+    if agg is None:
+        raise TransformError(
+            f"no section-8 transformation for {pred.op} {pred.quantifier} "
+            "(only =ANY and <>ALL have IN forms, handled by the parser)"
+        )
+    inner = _rewrite_select(pred.query, mode)
+    if len(inner.items) != 1:
+        raise TransformError("quantified subquery must select one item")
+    item = inner.items[0].expr
+    if isinstance(item, Star):
+        raise TransformError("quantified subquery cannot select *")
+    aggregated = replace(
+        inner,
+        items=(SelectItem(FuncCall(agg, item), alias="AGG"),),
+    )
+    return Comparison(pred.operand, pred.op, ScalarSubquery(aggregated))

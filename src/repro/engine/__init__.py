@@ -1,0 +1,29 @@
+"""Execution engine: expressions, physical operators, and the
+nested-iteration reference executor.
+
+Two evaluation paths share this package:
+
+* the **nested-iteration executor**
+  (:mod:`repro.engine.nested_iteration`) interprets a nested query AST
+  directly, re-evaluating correlated inner blocks once per outer tuple —
+  System R's strategy, the paper's baseline and its semantic oracle;
+* the **physical operators** (:mod:`repro.engine.operators`,
+  :mod:`repro.engine.sort`) execute the *transformed* plans: temp-table
+  builds, external sorts, merge joins, outer joins, and grouped
+  aggregation, all through the buffer pool so page I/O is measured.
+"""
+
+from repro.engine.expression import EvalContext, eval_predicate, eval_scalar
+from repro.engine.nested_iteration import NestedIterationExecutor, QueryResult
+from repro.engine.relation import Relation
+from repro.engine.schema import RowSchema
+
+__all__ = [
+    "EvalContext",
+    "NestedIterationExecutor",
+    "QueryResult",
+    "Relation",
+    "RowSchema",
+    "eval_predicate",
+    "eval_scalar",
+]

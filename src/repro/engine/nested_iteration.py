@@ -1,0 +1,520 @@
+"""The nested-iteration executor — System R's strategy and our oracle.
+
+This interprets a nested query AST directly, the way the paper says
+System R did (section 2.4, quoting [SEL 79:33]):
+
+* a **type-A/N** inner block (no correlation) is evaluated *once*; a
+  scalar result becomes a constant, a column result is materialized
+  into a temporary list ``X`` on disk and the nested predicate becomes
+  ``... IN X``, rescanned per outer tuple;
+* a **type-J/JA** inner block (correlated) is re-evaluated once per
+  outer tuple that survives the simple predicates — which is exactly
+  why "the inner relation may have to be retrieved once for each tuple
+  of the outer relation", the inefficiency the transformations attack.
+
+Because every table scan goes through the buffer pool, running this
+executor *measures* the nested-iteration page-I/O cost that the paper's
+Figure 1 and section 7.4 model analytically.
+
+Semantically this executor is the reference: the transformation tests
+compare every rewritten plan's result against it (multiset equality).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.engine.aggregate import compute_aggregate
+from repro.engine.expression import (
+    EvalContext,
+    SubqueryHandler,
+    eval_predicate,
+    eval_scalar,
+)
+from repro.engine.relation import Relation
+from repro.engine.schema import RowSchema
+from repro.engine.sort import _orderable
+from repro.errors import CardinalityError, ExecutionError
+from repro.sql.analysis import is_correlated
+from repro.sql.ast import (
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Select,
+    SelectItem,
+    Star,
+    contains_aggregate,
+)
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class QueryResult:
+    """The rows a query produced, with output column names."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def multiset(self) -> Counter:
+        """Bag of rows — the equivalence the paper's lemmas are stated in."""
+        return Counter(self.rows)
+
+    def column(self, index: int = 0) -> list[object]:
+        return [row[index] for row in self.rows]
+
+    def sorted_rows(self) -> list[tuple]:
+        return sorted(self.rows, key=lambda r: tuple(_orderable(v) for v in r))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class NestedIterationExecutor(SubqueryHandler):
+    """Evaluates nested queries by (cached) nested iteration."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        materialize_uncorrelated: bool = True,
+        use_indexes: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.materialize_uncorrelated = materialize_uncorrelated
+        self.use_indexes = use_indexes
+        self._scalar_cache: dict[int, object] = {}
+        self._column_cache: dict[int, Relation | list[object]] = {}
+        self._index_plans: dict[int, object] = {}
+
+    # -- public API ------------------------------------------------------
+
+    def execute(self, select: Select) -> QueryResult:
+        """Run a (possibly nested) query and return its result."""
+        self._scalar_cache.clear()
+        self._column_cache.clear()
+        self._index_plans.clear()
+        try:
+            schema, rows = self._execute_block(select, outer=None)
+        finally:
+            self._drop_materialized()
+        names = self._output_names(select)
+        return QueryResult(columns=names, rows=rows)
+
+    # -- SubqueryHandler -------------------------------------------------
+
+    def scalar(self, query: Select, context: EvalContext | None) -> object:
+        correlated = self._is_correlated(query)
+        if not correlated and id(query) in self._scalar_cache:
+            return self._scalar_cache[id(query)]
+        _, rows = self._execute_block(query, outer=None if not correlated else context)
+        if rows and len(rows[0]) != 1:
+            raise ExecutionError("scalar subquery must select one column")
+        if len(rows) > 1:
+            raise CardinalityError(
+                f"scalar subquery returned {len(rows)} rows: {to_sql(query)}"
+            )
+        value = rows[0][0] if rows else None
+        if not correlated:
+            self._scalar_cache[id(query)] = value
+        return value
+
+    def column(self, query: Select, context: EvalContext | None) -> list[object]:
+        correlated = self._is_correlated(query)
+        if not correlated:
+            cached = self._column_cache.get(id(query))
+            if cached is None:
+                _, rows = self._execute_block(query, outer=None)
+                if rows and len(rows[0]) != 1:
+                    raise ExecutionError("IN subquery must select one column")
+                values = [row[0] for row in rows]
+                if self.materialize_uncorrelated:
+                    # System R's X: the inner result lives on disk and is
+                    # rescanned per outer tuple (cheap only if it fits in B).
+                    cached = Relation.materialize(
+                        RowSchema([(None, "X")]),
+                        [(v,) for v in values],
+                        self.catalog.buffer,
+                        name="X",
+                    )
+                else:
+                    cached = values
+                self._column_cache[id(query)] = cached
+            if isinstance(cached, Relation):
+                return [row[0] for row in cached]
+            return list(cached)
+        _, rows = self._execute_block(query, outer=context)
+        if rows and len(rows[0]) != 1:
+            raise ExecutionError("IN subquery must select one column")
+        return [row[0] for row in rows]
+
+    def exists(self, query: Select, context: EvalContext | None) -> bool:
+        correlated = self._is_correlated(query)
+        _, rows = self._execute_block(query, outer=context if correlated else None)
+        return bool(rows)
+
+    # -- block evaluation --------------------------------------------------
+
+    def _execute_block(
+        self, select: Select, outer: EvalContext | None
+    ) -> tuple[RowSchema, list[tuple]]:
+        schema = self._from_schema(select)
+        qualifying = self._qualifying_rows(select, schema, outer)
+
+        if select.group_by or select.has_aggregate_select():
+            rows = self._aggregate_rows(select, schema, qualifying, outer)
+        else:
+            rows = [
+                self._project_row(select, schema, row, outer) for row in qualifying
+            ]
+
+        if select.distinct:
+            rows = _dedup(rows)
+        if select.order_by:
+            rows = self._order_rows(select, schema, qualifying, rows, outer)
+        return schema, rows
+
+    def _from_schema(self, select: Select) -> RowSchema:
+        fields: list[tuple[str | None, str]] = []
+        for ref in select.from_tables:
+            table_schema = self.catalog.schema_of(ref.name)
+            fields.extend(
+                (ref.binding, column) for column in table_schema.column_names
+            )
+        return RowSchema(fields)
+
+    def _qualifying_rows(
+        self, select: Select, schema: RowSchema, outer: EvalContext | None
+    ) -> list[tuple]:
+        indexed = self._indexed_rows(select, schema, outer)
+        if indexed is not None:
+            return indexed
+        rows: list[tuple] = []
+        for combined in self._from_rows(select, 0, ()):
+            context = EvalContext(combined, schema, outer, subquery_handler=self)
+            if select.where is None or eval_predicate(select.where, context) is True:
+                rows.append(combined)
+        return rows
+
+    # -- index fast path ------------------------------------------------------
+
+    def _indexed_rows(
+        self, select: Select, schema: RowSchema, outer: EvalContext | None
+    ) -> list[tuple] | None:
+        """Evaluate a single-table block by an index probe, when possible.
+
+        System R's access-path selection in miniature: if the block
+        scans one table, some equality conjunct compares an indexed
+        local column with an expression free of local references (a
+        correlation column or a constant), probe the index with the
+        expression's value and filter the survivors with the remaining
+        predicate.  Returns None when no index plan applies.
+        """
+        if not self.use_indexes:
+            return None
+        plan = self._index_plans.get(id(select))
+        if plan is None:
+            plan = self._make_index_plan(select, schema)
+            self._index_plans[id(select)] = plan
+        if plan is False:
+            return None
+        index, key_expr, residual = plan
+
+        # The probe key is evaluated in the *outer* context only (the
+        # expression has no local references by construction).
+        probe_context = EvalContext(
+            (), RowSchema(()), outer, subquery_handler=self
+        )
+        value = eval_scalar(key_expr, probe_context)
+        rows: list[tuple] = []
+        for row in index.lookup(value):
+            context = EvalContext(row, schema, outer, subquery_handler=self)
+            if residual is None or eval_predicate(residual, context) is True:
+                rows.append(row)
+        return rows
+
+    def _make_index_plan(self, select: Select, schema: RowSchema):
+        from repro.sql.ast import Comparison, conjuncts, make_and, walk
+
+        if len(select.from_tables) != 1 or select.where is None:
+            return False
+        table = select.from_tables[0]
+
+        parts = conjuncts(select.where)
+        for position, conjunct in enumerate(parts):
+            if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+                continue
+            for local_side, other_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not isinstance(local_side, ColumnRef):
+                    continue
+                if schema.try_index_of(local_side) is None:
+                    continue
+                # The probe expression must be local-reference-free and
+                # subquery-free (its value must not depend on this row).
+                other_refs = [
+                    node
+                    for node in walk(other_side, into_subqueries=False)
+                    if isinstance(node, (ColumnRef, Select))
+                ]
+                if any(
+                    isinstance(node, Select) for node in other_refs
+                ) or any(
+                    isinstance(node, ColumnRef)
+                    and schema.try_index_of(node) is not None
+                    for node in other_refs
+                ):
+                    continue
+                index = self.catalog.index_for(table.name, local_side.column)
+                if index is None:
+                    continue
+                residual = make_and(
+                    parts[:position] + parts[position + 1 :]
+                )
+                return (index, other_side, residual)
+        return False
+
+    def _from_rows(self, select: Select, index: int, prefix: tuple):
+        """Cartesian product of the FROM tables by nested rescans.
+
+        Inner tables are rescanned per outer tuple through the buffer
+        pool — the join method System R's nested iteration uses.
+        """
+        if index == len(select.from_tables):
+            yield prefix
+            return
+        heap = self.catalog.heap_of(select.from_tables[index].name)
+        for row in heap.scan():
+            yield from self._from_rows(select, index + 1, prefix + row)
+
+    # -- projection and aggregation ---------------------------------------
+
+    def _project_row(
+        self,
+        select: Select,
+        schema: RowSchema,
+        row: tuple,
+        outer: EvalContext | None,
+    ) -> tuple:
+        context = EvalContext(row, schema, outer, subquery_handler=self)
+        values: list[object] = []
+        for item in select.items:
+            if isinstance(item.expr, Star):
+                values.extend(self._star_values(item.expr, schema, row))
+            else:
+                values.append(eval_scalar(item.expr, context))
+        return tuple(values)
+
+    def _star_values(self, star: Star, schema: RowSchema, row: tuple) -> list[object]:
+        if star.table is None:
+            return list(row)
+        return [
+            value
+            for value, (qualifier, _) in zip(row, schema.fields)
+            if qualifier == star.table
+        ]
+
+    def _aggregate_rows(
+        self,
+        select: Select,
+        schema: RowSchema,
+        qualifying: list[tuple],
+        outer: EvalContext | None,
+    ) -> list[tuple]:
+        if select.group_by:
+            groups: dict[tuple, list[tuple]] = {}
+            order: list[tuple] = []
+            for row in qualifying:
+                context = EvalContext(row, schema, outer, subquery_handler=self)
+                key = tuple(
+                    _orderable(eval_scalar(expr, context))
+                    for expr in select.group_by
+                )
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(row)
+            result: list[tuple] = []
+            for key in order:
+                group = groups[key]
+                if select.having is not None:
+                    keep = self._eval_group_predicate(
+                        select.having, schema, group, outer
+                    )
+                    if keep is not True:
+                        continue
+                result.append(
+                    tuple(
+                        self._eval_group_expr(item.expr, schema, group, outer)
+                        for item in select.items
+                    )
+                )
+            return result
+
+        # Scalar aggregation: the whole input is one group, and SQL
+        # returns exactly one row even for an empty input.
+        group = qualifying
+        if select.having is not None:
+            keep = self._eval_group_predicate(select.having, schema, group, outer)
+            if keep is not True:
+                return []
+        return [
+            tuple(
+                self._eval_group_expr(item.expr, schema, group, outer)
+                for item in select.items
+            )
+        ]
+
+    def _eval_group_expr(
+        self,
+        expr: Expr,
+        schema: RowSchema,
+        group: list[tuple],
+        outer: EvalContext | None,
+    ) -> object:
+        if isinstance(expr, FuncCall) and expr.is_aggregate:
+            if isinstance(expr.arg, Star):
+                values: list[object] = [1] * len(group)
+            else:
+                values = [
+                    eval_scalar(
+                        expr.arg,
+                        EvalContext(row, schema, outer, subquery_handler=self),
+                    )
+                    for row in group
+                ]
+            return compute_aggregate(expr.name, values, expr.distinct)
+        if not group:
+            return None
+        context = EvalContext(group[0], schema, outer, subquery_handler=self)
+        return eval_scalar(expr, context)
+
+    def _eval_group_predicate(
+        self,
+        predicate: Expr,
+        schema: RowSchema,
+        group: list[tuple],
+        outer: EvalContext | None,
+    ) -> bool | None:
+        """Evaluate a HAVING predicate over one group.
+
+        Aggregates inside the predicate are computed over the group by
+        substituting their values first (structurally, via a wrapper
+        context on a representative row would not see them).
+        """
+        from repro.sql import ast as A
+
+        def rewrite(node: Expr) -> Expr:
+            if isinstance(node, FuncCall) and node.is_aggregate:
+                return A.Literal(self._eval_group_expr(node, schema, group, outer))
+            if isinstance(node, A.Comparison):
+                return A.Comparison(
+                    rewrite(node.left), node.op, rewrite(node.right), node.outer
+                )
+            if isinstance(node, A.And):
+                return A.And(tuple(rewrite(op) for op in node.operands))
+            if isinstance(node, A.Or):
+                return A.Or(tuple(rewrite(op) for op in node.operands))
+            if isinstance(node, A.Not):
+                return A.Not(rewrite(node.operand))
+            return node
+
+        rewritten = rewrite(predicate)
+        representative = group[0] if group else tuple(None for _ in schema.fields)
+        context = EvalContext(representative, schema, outer, subquery_handler=self)
+        return eval_predicate(rewritten, context)
+
+    def _order_rows(
+        self,
+        select: Select,
+        schema: RowSchema,
+        qualifying: list[tuple],
+        rows: list[tuple],
+        outer: EvalContext | None,
+    ) -> list[tuple]:
+        """Sort output rows by the ORDER BY items.
+
+        Supported when each ORDER BY expression references output
+        columns by name or position in the SELECT list.
+        """
+        out_names = self._output_names(select)
+
+        def key(row: tuple) -> tuple:
+            values = []
+            for item in select.order_by:
+                expr = item.expr
+                if not (isinstance(expr, ColumnRef) and expr.column in out_names):
+                    raise ExecutionError(
+                        "ORDER BY supports output-column references only"
+                    )
+                values.append(_orderable(row[out_names.index(expr.column)]))
+            return tuple(values)
+
+        descending_flags = {item.descending for item in select.order_by}
+        if len(descending_flags) > 1:
+            raise ExecutionError("mixed ASC/DESC ORDER BY is not supported")
+        return sorted(rows, key=key, reverse=descending_flags == {True})
+
+    # -- helpers -----------------------------------------------------------
+
+    def _is_correlated(self, query: Select) -> bool:
+        """Correlation test used to decide caching.
+
+        The enclosing bindings are not tracked here; instead we ask
+        whether the block's subtree references *any* table binding that
+        is not introduced within the subtree itself.
+        """
+
+        def has_column(binding: str, column: str) -> bool:
+            if self.catalog.has_table(binding):
+                return self.catalog.schema_of(binding).has_column(column)
+            return False
+
+        all_bindings = tuple(
+            name for name in self.catalog.table_names()
+        )
+        try:
+            return is_correlated(query, has_column, all_bindings)
+        except Exception:
+            # Unresolvable references surface later as BindError during
+            # evaluation; treat as correlated (no caching) here.
+            return True
+
+    def _output_names(self, select: Select) -> list[str]:
+        names: list[str] = []
+        for item in select.items:
+            if item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expr, ColumnRef):
+                names.append(item.expr.column)
+            elif isinstance(item.expr, FuncCall):
+                names.append(to_sql(item.expr))
+            elif isinstance(item.expr, Star):
+                star = item.expr
+                for ref in select.from_tables:
+                    if star.table is None or star.table == ref.binding:
+                        names.extend(
+                            self.catalog.schema_of(ref.name).column_names
+                        )
+            else:
+                names.append(f"EXPR{len(names) + 1}")
+        return names
+
+    def _drop_materialized(self) -> None:
+        for cached in self._column_cache.values():
+            if isinstance(cached, Relation):
+                cached.drop()
+        self._column_cache.clear()
+        self._scalar_cache.clear()
+
+
+def _dedup(rows: list[tuple]) -> list[tuple]:
+    seen: set[tuple] = set()
+    result: list[tuple] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            result.append(row)
+    return result

@@ -1,0 +1,387 @@
+"""Physical operators over :class:`~repro.engine.relation.Relation`.
+
+These are the building blocks of the *transformed* plans: the paper
+evaluates a rewritten query as a sequence of temp-table builds
+(restrict/project → sort → join → group) followed by a final join.
+Each operator reads its inputs through the buffer pool and materializes
+its output into a fresh heap file, so the page I/O of an entire plan is
+measured end to end.
+
+Join methods provided (section 7 considers both at each join step):
+
+* :func:`nested_loop_join` — the "nested iteration" join: the right
+  input is rescanned once per left tuple; cheap when it fits in the
+  buffer, quadratic in I/O when it does not.
+* :func:`merge_join` — sort-merge join over inputs sorted on the join
+  key; supports the non-equality operators of section 5.3 and the
+  left-outer mode of section 5.2 ("the outer join includes all values
+  from columns participating in the join, with NULLs in the opposite
+  column if there is no match").
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Callable, Iterator, Sequence
+
+from repro.catalog.catalog import TableEntry
+from repro.engine.aggregate import AggSpec, apply_specs
+from repro.engine.expression import EvalContext, eval_predicate, eval_scalar
+from repro.engine.relation import Relation, temp_rows_per_page
+from repro.engine.schema import RowSchema
+from repro.engine.sort import _orderable
+from repro.errors import ExecutionError
+from repro.sql.ast import Expr
+from repro.storage.buffer import BufferPool
+
+JoinMode = str  # "inner" | "left"
+
+
+def scan_table(entry: TableEntry, binding: str | None = None) -> Relation:
+    """A relation view over a stored table (reads go through the buffer)."""
+    schema = RowSchema.for_table(
+        binding or entry.schema.name, entry.schema.column_names
+    )
+    return Relation(schema, heap=entry.heap, name=entry.schema.name)
+
+
+def restrict_project(
+    source: Relation,
+    buffer: BufferPool,
+    predicate: Expr | None = None,
+    projections: Sequence[tuple[Expr, str | None, str]] | None = None,
+    name: str | None = None,
+    rows_per_page: int | None = None,
+) -> Relation:
+    """One-pass selection + projection, materialized to a new heap.
+
+    This is the paper's "restriction and projection of the inner table"
+    (building ``Rt3``/``TEMP2``): cost = read input + write output.
+
+    Args:
+        predicate: WHERE predicate over the source schema (no subqueries).
+        projections: output columns as ``(expr, qualifier, name)``
+            triples; None keeps the source schema unchanged.
+    """
+    if projections is None:
+        out_schema = source.schema
+        compute: Callable[[EvalContext], tuple] | None = None
+    else:
+        out_schema = RowSchema((qual, col) for _, qual, col in projections)
+
+        def compute(context: EvalContext) -> tuple:
+            return tuple(eval_scalar(expr, context) for expr, _, _ in projections)
+
+    def generate() -> Iterator[tuple]:
+        for row in source:
+            context = EvalContext(row, source.schema)
+            if predicate is not None and eval_predicate(predicate, context) is not True:
+                continue
+            yield row if compute is None else compute(context)
+
+    return Relation.materialize(
+        out_schema, generate(), buffer, rows_per_page=rows_per_page, name=name
+    )
+
+
+def nested_loop_join(
+    left: Relation,
+    right: Relation,
+    buffer: BufferPool,
+    predicate: Expr | None = None,
+    mode: JoinMode = "inner",
+    name: str | None = None,
+) -> Relation:
+    """Join by rescanning ``right`` once per ``left`` tuple.
+
+    The rescans go through the buffer pool, so when ``right`` fits in
+    ``B - 1`` pages the measured cost collapses to one read of each
+    input — exactly the distinction the paper's section 7.2 draws.
+    """
+    out_schema = left.schema + right.schema
+    right_nulls = (None,) * len(right.schema)
+
+    def generate() -> Iterator[tuple]:
+        for left_row in left:
+            matched = False
+            for right_row in right:
+                combined = left_row + right_row
+                context = EvalContext(combined, out_schema)
+                if predicate is None or eval_predicate(predicate, context) is True:
+                    matched = True
+                    yield combined
+            if mode == "left" and not matched:
+                yield left_row + right_nulls
+
+    return Relation.materialize(out_schema, generate(), buffer, name=name)
+
+
+def merge_join(
+    left: Relation,
+    right: Relation,
+    buffer: BufferPool,
+    left_key: Sequence[int],
+    right_key: Sequence[int],
+    op: str = "=",
+    mode: JoinMode = "inner",
+    name: str | None = None,
+) -> Relation:
+    """Sort-merge join; inputs must already be sorted on their keys.
+
+    For ``op="="`` this is the classic streaming merge join (multi-column
+    keys supported).  For the non-equality operators of section 5.3
+    (single-column keys) the right side is kept as a sorted array and
+    binary-searched, which costs the same page I/O the paper's model
+    charges: one read of each input plus the output write.
+
+    ``mode="left"`` is the outer join of section 5.2: left tuples with
+    no match appear once, NULL-padded on the right — the fix that lets
+    COUNT see its empty groups.
+    """
+    if op == "=":
+        generate = _merge_equi_join(left, right, list(left_key), list(right_key), mode)
+    else:
+        if len(left_key) != 1 or len(right_key) != 1:
+            raise ExecutionError(
+                f"theta merge join ({op}) supports single-column keys only"
+            )
+        generate = _merge_theta_join(left, right, left_key[0], right_key[0], op, mode)
+
+    out_schema = left.schema + right.schema
+    return Relation.materialize(out_schema, generate, buffer, name=name)
+
+
+def _merge_equi_join(
+    left: Relation,
+    right: Relation,
+    left_key: list[int],
+    right_key: list[int],
+    mode: JoinMode,
+) -> Iterator[tuple]:
+    right_nulls = (None,) * len(right.schema)
+    right_groups = _group_iterator(iter(right), right_key)
+    current_key: tuple | None = None
+    current_group: list[tuple] = []
+    exhausted = False
+
+    def advance_right_to(key: tuple) -> None:
+        nonlocal current_key, current_group, exhausted
+        while not exhausted and (current_key is None or current_key < key):
+            try:
+                current_key, current_group = next(right_groups)
+            except StopIteration:
+                exhausted = True
+                current_group = []
+
+    for left_row in left:
+        key = tuple(_orderable(left_row[i]) for i in left_key)
+        if any(left_row[i] is None for i in left_key):
+            if mode == "left":
+                yield left_row + right_nulls
+            continue
+        advance_right_to(key)
+        if (
+            not exhausted
+            and current_key == key
+            and all(left_row[i] is not None for i in left_key)
+        ):
+            for right_row in current_group:
+                yield left_row + right_row
+        elif mode == "left":
+            yield left_row + right_nulls
+
+
+def _group_iterator(
+    rows: Iterator[tuple], key_columns: list[int]
+) -> Iterator[tuple[tuple, list[tuple]]]:
+    """Yield ``(key, rows)`` groups from a key-sorted stream.
+
+    Rows whose key contains NULL are dropped: a NULL never equi-joins.
+    """
+    current_key: tuple | None = None
+    group: list[tuple] = []
+    for row in rows:
+        if any(row[i] is None for i in key_columns):
+            continue
+        key = tuple(_orderable(row[i]) for i in key_columns)
+        if key != current_key:
+            if current_key is not None:
+                yield current_key, group
+            current_key = key
+            group = []
+        group.append(row)
+    if current_key is not None:
+        yield current_key, group
+
+
+def _merge_theta_join(
+    left: Relation,
+    right: Relation,
+    left_key: int,
+    right_key: int,
+    op: str,
+    mode: JoinMode,
+) -> Iterator[tuple]:
+    right_nulls = (None,) * len(right.schema)
+    # One sequential read of the right input; kept sorted in memory.
+    right_rows = [row for row in right if row[right_key] is not None]
+    right_keys = [_orderable(row[right_key]) for row in right_rows]
+
+    for left_row in left:
+        value = left_row[left_key]
+        if value is None:
+            if mode == "left":
+                yield left_row + right_nulls
+            continue
+        key = _orderable(value)
+        matches = _theta_range(right_rows, right_keys, key, op)
+        matched = False
+        for right_row in matches:
+            matched = True
+            yield left_row + right_row
+        if mode == "left" and not matched:
+            yield left_row + right_nulls
+
+
+def _theta_range(
+    rows: list[tuple], keys: list, key, op: str
+) -> Iterator[tuple]:
+    """Rows whose key satisfies ``row.key op left.key`` — note direction.
+
+    The predicate form in the paper is ``inner.column op outer.column``
+    (e.g. ``SUPPLY.PNUM < PARTS.PNUM``), with the *right* (inner) value
+    on the left of the operator, so for op ``<`` we return right rows
+    whose key is *less than* the probe key.
+    """
+    if op == "<":
+        end = bisect.bisect_left(keys, key)
+        return iter(rows[:end])
+    if op == "<=":
+        end = bisect.bisect_right(keys, key)
+        return iter(rows[:end])
+    if op == ">":
+        start = bisect.bisect_right(keys, key)
+        return iter(rows[start:])
+    if op == ">=":
+        start = bisect.bisect_left(keys, key)
+        return iter(rows[start:])
+    if op == "<>":
+        start = bisect.bisect_left(keys, key)
+        end = bisect.bisect_right(keys, key)
+        return iter(rows[:start] + rows[end:])
+    raise ExecutionError(f"unsupported theta-join operator {op!r}")
+
+
+def group_aggregate(
+    source: Relation,
+    buffer: BufferPool,
+    group_columns: Sequence[int],
+    specs: Sequence[AggSpec],
+    out_names: Sequence[tuple[str | None, str]],
+    name: str | None = None,
+    always_emit: bool = False,
+) -> Relation:
+    """Grouped aggregation over an input sorted on the group columns.
+
+    Output rows are ``group key values + aggregate values`` with the
+    given output schema.  With no group columns the whole input is one
+    group; ``always_emit`` controls whether an empty ungrouped input
+    yields the SQL scalar-aggregate row (COUNT = 0, others NULL).
+    """
+    expected = len(group_columns) + len(specs)
+    if len(out_names) != expected:
+        raise ExecutionError(
+            f"group_aggregate needs {expected} output names, got {len(out_names)}"
+        )
+    out_schema = RowSchema(out_names)
+    group_cols = list(group_columns)
+    agg_specs = list(specs)
+
+    def generate() -> Iterator[tuple]:
+        current_key: tuple | None = None
+        group: list[tuple] = []
+        saw_rows = False
+
+        def emit(key: tuple | None, rows: list[tuple]) -> tuple:
+            prefix = () if key is None else key
+            return tuple(prefix) + tuple(apply_specs(rows, agg_specs))
+
+        if not group_cols:
+            rows = source.to_list()
+            if rows or always_emit:
+                yield emit(None, rows)
+            return
+
+        for row in source:
+            saw_rows = True
+            key = tuple(row[i] for i in group_cols)
+            if current_key is None or key != current_key:
+                if current_key is not None:
+                    yield emit(current_key, group)
+                current_key = key
+                group = []
+            group.append(row)
+        if saw_rows:
+            yield emit(current_key, group)
+
+    return Relation.materialize(out_schema, generate(), buffer, name=name)
+
+
+def index_nested_loop_join(
+    left: Relation,
+    index,
+    right_schema: RowSchema,
+    buffer: BufferPool,
+    left_key: int,
+    mode: JoinMode = "inner",
+    name: str | None = None,
+) -> Relation:
+    """Join by probing an index on the right relation's join column.
+
+    This is System R's classic accelerator for nested iteration: each
+    left tuple costs an index-leaf probe plus the matching heap pages
+    instead of a full rescan of the right relation.
+
+    Args:
+        index: a :class:`repro.storage.index.IsamIndex` on the right
+            relation's join column.
+        right_schema: schema of the right relation's rows.
+        left_key: position of the join column in the left rows.
+        mode: ``"inner"`` or ``"left"`` (NULL-padded) — note that using
+            the outer mode here *before* applying the right relation's
+            simple predicates reproduces the section 5.2 trap; see
+            ``benchmarks/bench_index.py``.
+    """
+    out_schema = left.schema + right_schema
+    right_nulls = (None,) * len(right_schema)
+
+    def generate() -> Iterator[tuple]:
+        for left_row in left:
+            value = left_row[left_key]
+            matched = False
+            if value is not None:
+                for right_row in index.lookup(value):
+                    matched = True
+                    yield left_row + right_row
+            if mode == "left" and not matched:
+                yield left_row + right_nulls
+
+    return Relation.materialize(out_schema, generate(), buffer, name=name)
+
+
+def project_columns(
+    source: Relation,
+    buffer: BufferPool,
+    columns: Sequence[int],
+    out_names: Sequence[tuple[str | None, str]],
+    name: str | None = None,
+) -> Relation:
+    """Positional projection, materialized (a cheap restrict_project)."""
+    out_schema = RowSchema(out_names)
+    cols = list(columns)
+
+    def generate() -> Iterator[tuple]:
+        for row in source:
+            yield tuple(row[i] for i in cols)
+
+    return Relation.materialize(out_schema, generate(), buffer, name=name)

@@ -1,0 +1,160 @@
+"""Relations: schema-tagged, re-iterable row collections.
+
+A :class:`Relation` is either *heap-backed* (pages on the simulated
+disk, read through the buffer pool — every temp table the transforms
+build) or *in-memory* (small derived lists, e.g. a cached type-N inner
+result before System R materializes it).  Physical operators consume
+and produce Relations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.engine.schema import RowSchema
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+
+__all__ = [
+    "ROWID_COLUMN",
+    "Relation",
+    "RowidRelation",
+    "temp_rows_per_page",
+]
+
+#: Nominal page size in bytes for temp relations (matches catalog sizing).
+_TEMP_PAGE_BYTES = 1024
+_TEMP_COLUMN_BYTES = 8
+
+
+def temp_rows_per_page(num_columns: int) -> int:
+    """Default tuples-per-page for a temp relation of given width."""
+    return max(1, _TEMP_PAGE_BYTES // (_TEMP_COLUMN_BYTES * max(1, num_columns)))
+
+
+class Relation:
+    """A named, schema-tagged collection of tuples."""
+
+    def __init__(
+        self,
+        schema: RowSchema,
+        heap: HeapFile | None = None,
+        rows: list[tuple] | None = None,
+        name: str | None = None,
+    ) -> None:
+        if (heap is None) == (rows is None):
+            raise ValueError("exactly one of heap/rows must be given")
+        self.schema = schema
+        self.heap = heap
+        self._rows = rows
+        self.name = name or (heap.name if heap is not None else None)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, schema: RowSchema, rows: Iterable[tuple], name: str | None = None
+    ) -> "Relation":
+        """An in-memory relation (no page I/O when scanned)."""
+        return cls(schema, rows=list(rows), name=name)
+
+    @classmethod
+    def materialize(
+        cls,
+        schema: RowSchema,
+        rows: Iterable[tuple],
+        buffer: BufferPool,
+        rows_per_page: int | None = None,
+        name: str | None = None,
+    ) -> "Relation":
+        """Write rows into a fresh heap file (charges page writes).
+
+        This is the paper's "create a temporary relation" step: building
+        a P-page temp table costs P page writes once flushed.
+        """
+        capacity = rows_per_page or temp_rows_per_page(len(schema))
+        heap = HeapFile(buffer, rows_per_page=capacity, name=name)
+        heap.extend(rows)
+        heap.flush()
+        return cls(schema, heap=heap, name=name)
+
+    # -- access --------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple]:
+        if self.heap is not None:
+            return self.heap.scan()
+        return iter(self._rows)
+
+    def to_list(self) -> list[tuple]:
+        return list(self)
+
+    @property
+    def is_heap_backed(self) -> bool:
+        return self.heap is not None
+
+    @property
+    def num_rows(self) -> int:
+        if self.heap is not None:
+            return self.heap.num_rows
+        return len(self._rows)
+
+    @property
+    def num_pages(self) -> int:
+        """Page count (``Pk``); in-memory relations occupy zero pages."""
+        if self.heap is not None:
+            return self.heap.num_pages
+        return 0
+
+    def drop(self) -> None:
+        """Free the backing pages, if any."""
+        if self.heap is not None:
+            self.heap.truncate()
+
+    def __repr__(self) -> str:
+        backing = "heap" if self.is_heap_backed else "memory"
+        return (
+            f"Relation({self.name or '?'}, {backing}, rows={self.num_rows},"
+            f" pages={self.num_pages})"
+        )
+
+
+#: Name of the implicit row-identifier column (see :class:`RowidRelation`).
+ROWID_COLUMN = "#RID"
+
+
+class RowidRelation(Relation):
+    """A view of a relation with an appended row-identifier column.
+
+    Scanning a heap is deterministic, so enumerating the scan gives
+    every physical tuple a stable identity — even when two tuples are
+    value-identical.  The pipeline's ``dedupe_outer`` fix-up (see
+    DESIGN.md) uses this to restore nested-iteration multiplicities
+    after a type-J NEST-N-J merge: DISTINCT over (rowid, output)
+    collapses the join's fan-out back to one row per outer tuple.
+    """
+
+    def __init__(self, base: Relation, binding: str) -> None:
+        # Deliberately does not call Relation.__init__: this is a view.
+        self._base = base
+        self.schema = base.schema + RowSchema([(binding, ROWID_COLUMN)])
+        self.heap = None
+        self._rows = None
+        self.name = base.name
+
+    def __iter__(self):
+        return (row + (rid,) for rid, row in enumerate(self._base))
+
+    @property
+    def is_heap_backed(self) -> bool:
+        return self._base.is_heap_backed
+
+    @property
+    def num_rows(self) -> int:
+        return self._base.num_rows
+
+    @property
+    def num_pages(self) -> int:
+        return self._base.num_pages
+
+    def drop(self) -> None:
+        self._base.drop()

@@ -1,0 +1,81 @@
+"""Row schemas: how column references bind to tuple positions."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import BindError
+from repro.sql.ast import ColumnRef
+
+
+class RowSchema:
+    """An ordered list of ``(qualifier, column)`` pairs describing a row.
+
+    The qualifier is the table binding (table name or alias) a column
+    came from, or None for computed columns.  Binding resolves a
+    :class:`ColumnRef` to a tuple index:
+
+    * a qualified reference ``T.C`` matches the column with qualifier
+      ``T`` and name ``C``;
+    * an unqualified reference ``C`` matches the unique column named
+      ``C``; ambiguity is an error.
+    """
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Iterable[tuple[str | None, str]]) -> None:
+        self.fields: tuple[tuple[str | None, str], ...] = tuple(fields)
+
+    @classmethod
+    def for_table(cls, binding: str, column_names: Iterable[str]) -> "RowSchema":
+        return cls((binding, name) for name in column_names)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RowSchema) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(self.fields)
+
+    def __repr__(self) -> str:
+        names = ", ".join(self.qualified_names())
+        return f"RowSchema({names})"
+
+    def __add__(self, other: "RowSchema") -> "RowSchema":
+        """Concatenation — the schema of a join of two rows."""
+        return RowSchema(self.fields + other.fields)
+
+    def qualified_names(self) -> list[str]:
+        return [
+            f"{qualifier}.{name}" if qualifier else name
+            for qualifier, name in self.fields
+        ]
+
+    def column_names(self) -> list[str]:
+        return [name for _, name in self.fields]
+
+    @property
+    def qualifiers(self) -> set[str]:
+        return {qualifier for qualifier, _ in self.fields if qualifier}
+
+    def try_index_of(self, ref: ColumnRef) -> int | None:
+        """Resolve a column reference, or None when it does not bind here."""
+        matches = [
+            index
+            for index, (qualifier, name) in enumerate(self.fields)
+            if name == ref.column and (ref.table is None or ref.table == qualifier)
+        ]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise BindError(f"ambiguous column reference {ref.qualified()}")
+        return matches[0]
+
+    def index_of(self, ref: ColumnRef) -> int:
+        """Resolve a column reference; raises :class:`BindError` if absent."""
+        index = self.try_index_of(ref)
+        if index is None:
+            raise BindError(f"cannot resolve column {ref.qualified()}")
+        return index

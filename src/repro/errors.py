@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The hierarchy mirrors the major
+subsystems: the SQL frontend, the catalog, the storage engine, the
+execution engine, and the query transformations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL frontend errors."""
+
+
+class LexError(SqlError):
+    """Raised when the tokenizer encounters an invalid character sequence.
+
+    Attributes:
+        position: character offset into the source text where the error
+            occurred.
+    """
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            super().__init__(f"{message} (at position {position})")
+        else:
+            super().__init__(message)
+        self.position = position
+
+
+class CatalogError(ReproError):
+    """Raised for schema problems: unknown tables, duplicate columns, etc."""
+
+
+class StorageError(ReproError):
+    """Raised for storage-engine faults: bad page ids, full pages, etc."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a query cannot be evaluated."""
+
+
+class CardinalityError(ExecutionError):
+    """Raised when a scalar subquery yields more than one row."""
+
+
+class BindError(ExecutionError):
+    """Raised when a column reference cannot be resolved to a table."""
+
+
+class TransformError(ReproError):
+    """Raised when a nested-query transformation cannot be applied."""
+
+
+class PlanError(ReproError):
+    """Raised when the planner cannot produce a plan for a query."""

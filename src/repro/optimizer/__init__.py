@@ -1,0 +1,14 @@
+"""Cost model (section 7) and the single-level plan executor/planner."""
+
+from repro.optimizer.cost import CostParameters, ja2_costs, nested_iteration_cost
+from repro.optimizer.executor import SingleLevelExecutor
+from repro.optimizer.planner import PlanChoice, Planner
+
+__all__ = [
+    "CostParameters",
+    "PlanChoice",
+    "Planner",
+    "SingleLevelExecutor",
+    "ja2_costs",
+    "nested_iteration_cost",
+]

@@ -1,0 +1,606 @@
+"""Physical execution of single-level (canonical) queries.
+
+After transformation, every query the paper produces is single-level: a
+temp-table definition (selection + projection + join + GROUP BY) or the
+final canonical join.  This executor runs such queries over the storage
+engine with a chosen join method:
+
+* ``join_method="merge"`` — sort inputs as needed and merge join (the
+  evaluation the paper's section 7 costs in detail);
+* ``join_method="nested"`` — nested-loop joins (efficient only when the
+  inner fits in the buffer, section 7.2).
+
+Design points lifted straight from the paper:
+
+* **Single-relation predicates are applied before any join** — section
+  5.2 shows the outer join produces wrong COUNTs otherwise ("the
+  condition which applies to only one relation must be applied before
+  the join is performed").
+* **Sort order is tracked through operators** so that, as in section
+  7.4, a merge join's output needs no re-sort for a GROUP BY on the
+  join column, and a temp table created in GROUP BY order needs no sort
+  before the final merge join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.engine.aggregate import AggSpec
+from repro.engine.operators import (
+    group_aggregate,
+    merge_join,
+    nested_loop_join,
+    restrict_project,
+    scan_table,
+)
+from repro.engine.relation import Relation
+from repro.engine.schema import RowSchema
+from repro.engine.sort import external_sort
+from repro.errors import PlanError
+from repro.sql.ast import (
+    MIRRORED_OPS,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    Select,
+    Star,
+    column_refs,
+    conjuncts,
+    contains_aggregate,
+    make_and,
+    walk,
+)
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class _State:
+    """A partially built plan: the data plus what order it is in."""
+
+    relation: Relation
+    sorted_on: tuple[int, ...] = ()
+
+
+class SingleLevelExecutor:
+    """Executes canonical queries over the storage engine."""
+
+    def __init__(self, catalog: Catalog, join_method: str = "merge") -> None:
+        if join_method not in ("merge", "nested"):
+            raise PlanError(f"unknown join method {join_method!r}")
+        self.catalog = catalog
+        self.buffer = catalog.buffer
+        self.join_method = join_method
+        self.steps: list[str] = []
+
+    # -- public API --------------------------------------------------------
+
+    def execute(self, select: Select) -> Relation:
+        """Run a single-level query, returning a materialized relation."""
+        self.steps = []
+        self._reject_subqueries(select)
+        self._binding_columns = {
+            ref.binding: set(self.catalog.schema_of(ref.name).column_names)
+            for ref in select.from_tables
+        }
+        state = self._join_from_tables(select)
+        state = self._apply_residual(select, state)
+
+        if select.group_by or select.has_aggregate_select():
+            result = self._grouped_output(select, state)
+        else:
+            result = self._plain_output(select, state)
+
+        if select.distinct:
+            result = external_sort(result, list(range(len(result.schema))),
+                                   self.buffer, unique=True, name="distinct")
+            self._log("sort-unique for DISTINCT")
+        if select.order_by:
+            result = self._order_output(select, result)
+        return result
+
+    def output_names(self, select: Select) -> list[str]:
+        """Output column names for registering the result as a table."""
+        names: list[str] = []
+        for item in select.items:
+            if item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expr, ColumnRef):
+                names.append(item.expr.column)
+            else:
+                names.append(f"C{len(names) + 1}")
+        return names
+
+    # -- FROM clause ---------------------------------------------------------
+
+    def _join_from_tables(self, select: Select) -> _State:
+        all_conjuncts = conjuncts(select.where)
+        self._consumed: set[int] = set()
+
+        tables = select.from_tables
+        if not tables:
+            raise PlanError("query has no FROM clause")
+
+        rowid_bindings = self._rowid_bindings(select)
+        states: list[_State] = []
+        for ref in tables:
+            relation = scan_table(self.catalog.get(ref.name), binding=ref.binding)
+            if ref.binding in rowid_bindings:
+                from repro.engine.relation import RowidRelation
+
+                relation = RowidRelation(relation, ref.binding)
+            local = self._table_local_predicate(
+                all_conjuncts, relation.schema, ref.binding
+            )
+            if local is not None:
+                relation = restrict_project(
+                    relation, self.buffer, predicate=local,
+                    name=f"restrict({ref.binding})",
+                )
+                self._log(f"restrict {ref.binding}: {to_sql(local)}")
+            states.append(_State(relation))
+
+        state = states[0]
+        for next_state in states[1:]:
+            state = self._join_pair(all_conjuncts, state, next_state)
+        return state
+
+    def _table_local_predicate(
+        self, all_conjuncts: list[Expr], schema: RowSchema, binding: str
+    ) -> Expr | None:
+        local: list[Expr] = []
+        for index, conjunct in enumerate(all_conjuncts):
+            if index in self._consumed:
+                continue
+            used = self._bindings_used(conjunct)
+            if used and used <= {binding}:
+                local.append(conjunct)
+                self._consumed.add(index)
+        return make_and(local)
+
+    def _rowid_bindings(self, select: Select) -> set[str]:
+        """Bindings whose implicit rowid column the query references."""
+        from repro.engine.relation import ROWID_COLUMN
+
+        return {
+            node.table
+            for node in walk(select)
+            if isinstance(node, ColumnRef)
+            and node.column == ROWID_COLUMN
+            and node.table is not None
+        }
+
+    def _bindings_used(self, conjunct: Expr) -> set[str]:
+        used: set[str] = set()
+        for ref in column_refs(conjunct):
+            if ref.table is not None:
+                used.add(ref.table)
+            else:
+                used.add(self._owner_of(ref.column))
+        return used
+
+    def _owner_of(self, column: str) -> str:
+        owners = [
+            binding
+            for binding, columns in self._binding_columns.items()
+            if column in columns
+        ]
+        if len(owners) != 1:
+            raise PlanError(
+                f"cannot attribute unqualified column {column!r} "
+                f"(candidates: {owners})"
+            )
+        return owners[0]
+
+    # -- pairwise joins --------------------------------------------------------
+
+    def _join_pair(
+        self, all_conjuncts: list[Expr], left: _State, right: _State
+    ) -> _State:
+        left_quals = left.relation.schema.qualifiers
+        right_quals = right.relation.schema.qualifiers
+
+        equi: list[tuple[ColumnRef, ColumnRef, str | None]] = []  # (l, r, outer)
+        theta: list[tuple[ColumnRef, str, ColumnRef, str | None]] = []
+        other: list[Expr] = []
+
+        for index, conjunct in enumerate(all_conjuncts):
+            if index in self._consumed:
+                continue
+            used = self._bindings_used(conjunct)
+            if not used or not used <= left_quals | right_quals:
+                continue
+            if not (used & left_quals and used & right_quals):
+                continue
+            self._consumed.add(index)
+            normalized = self._normalize_join_pred(conjunct, left_quals)
+            if normalized is None:
+                other.append(conjunct)
+            else:
+                left_col, op, right_col, outer = normalized
+                if op == "=":
+                    equi.append((left_col, right_col, outer))
+                else:
+                    theta.append((left_col, op, right_col, outer))
+
+        if self.join_method == "nested":
+            predicate = make_and(
+                [self._join_pred_expr(e) for e in equi]
+                + [self._theta_pred_expr(t) for t in theta]
+                + other
+            )
+            mode = "left" if self._any_outer(equi, theta) else "inner"
+            joined = nested_loop_join(
+                left.relation, right.relation, self.buffer,
+                predicate=predicate, mode=mode, name="nl-join",
+            )
+            self._log(
+                f"nested-loop join ({to_sql(predicate) if predicate else 'cross'})"
+            )
+            return _State(joined, left.sorted_on)
+
+        if equi:
+            return self._merge_equi(left, right, equi, theta, other)
+        if theta:
+            return self._merge_theta(left, right, theta, other)
+
+        # No join predicate: cross product by nested loops.
+        joined = nested_loop_join(
+            left.relation, right.relation, self.buffer,
+            predicate=make_and(other), name="cross",
+        )
+        self._log("cross product (no join predicate)")
+        return _State(joined, left.sorted_on)
+
+    def _merge_equi(self, left, right, equi, theta, other) -> _State:
+        left_keys = [left.relation.schema.index_of(l) for l, _, _ in equi]
+        right_keys = [right.relation.schema.index_of(r) for _, r, _ in equi]
+        mode = "left" if self._any_outer(equi, theta) else "inner"
+
+        left_rel = self._ensure_sorted(left, tuple(left_keys))
+        right_rel = self._ensure_sorted(right, tuple(right_keys))
+        joined = merge_join(
+            left_rel, right_rel, self.buffer,
+            left_keys, right_keys, op="=", mode=mode, name="merge-join",
+        )
+        self._log(
+            "merge join on "
+            + ", ".join(f"{l.qualified()} = {r.qualified()}" for l, r, _ in equi)
+            + (" (left outer)" if mode == "left" else "")
+        )
+        state = _State(joined, tuple(left_keys))
+        residual = [self._theta_pred_expr(t) for t in theta] + other
+        return self._filter_state(state, make_and(residual))
+
+    def _merge_theta(self, left, right, theta, other) -> _State:
+        left_col, op, right_col, outer = theta[0]
+        left_key = left.relation.schema.index_of(left_col)
+        right_key = right.relation.schema.index_of(right_col)
+        mode = "left" if outer is not None else "inner"
+
+        left_rel = self._ensure_sorted(left, (left_key,))
+        right_rel = self._ensure_sorted(right, (right_key,))
+        # merge_join's theta semantics are "right.key op left.key":
+        # our normalized predicate is "left.col mirror-op right.col",
+        # i.e. right.col op left.col, which is exactly that direction.
+        joined = merge_join(
+            left_rel, right_rel, self.buffer,
+            [left_key], [right_key], op=op, mode=mode, name="theta-join",
+        )
+        self._log(
+            f"theta merge join on {right_col.qualified()} {op} "
+            f"{left_col.qualified()}" + (" (left outer)" if mode == "left" else "")
+        )
+        state = _State(joined, (left_key,))
+        residual = [self._theta_pred_expr(t) for t in theta[1:]] + other
+        return self._filter_state(state, make_and(residual))
+
+    def _normalize_join_pred(
+        self, conjunct: Expr, left_quals: set[str]
+    ) -> tuple[ColumnRef, str, ColumnRef, str | None] | None:
+        """Normalize a column-op-column join predicate.
+
+        Returns ``(left_col, op, right_col, outer)`` where ``op`` is
+        oriented as ``right_col op left_col`` for theta operators (the
+        direction :func:`merge_join` expects) and ``outer`` preserves
+        the marked side ("left" always means: preserve the accumulated
+        left input).  Non-simple predicates return None (handled as
+        residual filters).
+        """
+        if not isinstance(conjunct, Comparison):
+            return None
+        if not isinstance(conjunct.left, ColumnRef) or not isinstance(
+            conjunct.right, ColumnRef
+        ):
+            return None
+        a, b = conjunct.left, conjunct.right
+        a_side = self._side_of(a, left_quals)
+        b_side = self._side_of(b, left_quals)
+        if a_side == b_side:
+            return None
+
+        outer = conjunct.outer
+        if a_side == "left":
+            # a op b with a on the left input: theta direction wants
+            # "right op' left", so mirror the operator.
+            op = MIRRORED_OPS[conjunct.op]
+            preserved = self._outer_mode(outer, marked_side=a_side)
+            return a, op, b, preserved
+        op = conjunct.op
+        preserved = self._outer_mode(outer, marked_side=b_side)
+        return b, op, a, preserved
+
+    def _side_of(self, ref: ColumnRef, left_quals: set[str]) -> str:
+        binding = ref.table if ref.table is not None else self._owner_of(ref.column)
+        return "left" if binding in left_quals else "right"
+
+    def _outer_mode(self, outer: str | None, marked_side: str) -> str | None:
+        """Translate the AST's outer marker to a join mode.
+
+        ``Comparison.outer == "left"`` preserves the relation of the
+        comparison's left *operand*.  The executor only supports
+        preserving the accumulated (left input) side, which is how the
+        transforms lay out their FROM clauses (TEMP1 first).
+        """
+        if outer is None:
+            return None
+        if outer == "full":
+            raise PlanError("full outer join is not supported by this executor")
+        # outer == "left" or "right": which operand's relation?
+        if outer == "left" and marked_side == "left":
+            return "left"
+        if outer == "right" and marked_side == "right":
+            return "left"
+        raise PlanError(
+            "outer join must preserve the left (accumulated) input; "
+            "reorder the FROM clause"
+        )
+
+    def _any_outer(self, equi, theta) -> bool:
+        return any(e[2] is not None for e in equi) or any(
+            t[3] is not None for t in theta
+        )
+
+    def _join_pred_expr(self, e) -> Expr:
+        left_col, right_col, _ = e
+        return Comparison(left_col, "=", right_col)
+
+    def _theta_pred_expr(self, t) -> Expr:
+        left_col, op, right_col, _ = t
+        # Normalized as right op left; rebuild as an ordinary predicate.
+        return Comparison(right_col, op, left_col)
+
+    # -- residual, grouping, output -------------------------------------------
+
+    def _apply_residual(self, select: Select, state: _State) -> _State:
+        residual: list[Expr] = []
+        for index, conjunct in enumerate(conjuncts(select.where)):
+            if index not in self._consumed:
+                residual.append(conjunct)
+                self._consumed.add(index)
+        return self._filter_state(state, make_and(residual))
+
+    def _filter_state(self, state: _State, predicate: Expr | None) -> _State:
+        if predicate is None:
+            return state
+        filtered = restrict_project(
+            state.relation, self.buffer, predicate=predicate, name="filter"
+        )
+        self._log(f"filter: {to_sql(predicate)}")
+        return _State(filtered, state.sorted_on)
+
+    def _grouped_output(self, select: Select, state: _State) -> Relation:
+        schema = state.relation.schema
+        group_positions = []
+        for expr in select.group_by:
+            if not isinstance(expr, ColumnRef):
+                raise PlanError("GROUP BY supports column references only")
+            group_positions.append(schema.index_of(expr))
+
+        specs: list[AggSpec] = []
+        out_fields: list[tuple[str | None, str]] = []
+        names = self.output_names(select)
+        item_kinds: list[tuple[str, int]] = []  # ("group", pos) | ("agg", idx)
+
+        for item, name in zip(select.items, names):
+            expr = item.expr
+            if isinstance(expr, FuncCall) and expr.is_aggregate:
+                if isinstance(expr.arg, Star):
+                    column: int | None = None
+                elif isinstance(expr.arg, ColumnRef):
+                    column = schema.index_of(expr.arg)
+                else:
+                    raise PlanError("aggregate argument must be a column or *")
+                item_kinds.append(("agg", len(specs)))
+                specs.append(AggSpec(expr.name, column, expr.distinct))
+            elif isinstance(expr, ColumnRef):
+                position = schema.index_of(expr)
+                if position not in group_positions:
+                    raise PlanError(
+                        f"non-aggregated column {expr.qualified()} "
+                        "must appear in GROUP BY"
+                    )
+                item_kinds.append(("group", group_positions.index(position)))
+            else:
+                raise PlanError(
+                    "grouped SELECT items must be columns or aggregates"
+                )
+
+        # HAVING: compute its aggregates as hidden output columns, then
+        # filter the grouped rows and project the hidden columns away.
+        having_specs: list[AggSpec] = []
+        having_pred: Expr | None = None
+        if select.having is not None:
+            having_pred = self._rewrite_having(
+                select.having, schema, group_positions, having_specs
+            )
+
+        relation = state.relation
+        if group_positions and not self._grouping_satisfied(
+            state.sorted_on, group_positions
+        ):
+            relation = external_sort(
+                relation, group_positions, self.buffer, name="group-sort"
+            )
+            self._log("sort for GROUP BY")
+        elif group_positions:
+            self._log("GROUP BY input already in group order (no sort)")
+
+        group_fields = [
+            (None, f"G{i}") for i in range(len(group_positions))
+        ]
+        agg_fields = [(None, f"A{i}") for i in range(len(specs))]
+        having_fields = [(None, f"H{i}") for i in range(len(having_specs))]
+        grouped = group_aggregate(
+            relation, self.buffer, group_positions, specs + having_specs,
+            group_fields + agg_fields + having_fields,
+            name="group", always_emit=not group_positions,
+        )
+        if having_pred is not None:
+            grouped = restrict_project(
+                grouped, self.buffer, predicate=having_pred, name="having"
+            )
+            self._log(f"HAVING filter: {to_sql(having_pred)}")
+
+        # Re-order the grouped output into the SELECT-item order.
+        out_positions: list[int] = []
+        for kind, index in item_kinds:
+            if kind == "group":
+                out_positions.append(index)
+            else:
+                out_positions.append(len(group_positions) + index)
+        out_fields = [(None, name) for name in names]
+        if out_positions == list(range(len(grouped.schema))):
+            # Just relabel.
+            return Relation(
+                RowSchema(out_fields), heap=grouped.heap, name="result"
+            )
+        from repro.engine.operators import project_columns
+
+        return project_columns(
+            grouped, self.buffer, out_positions, out_fields, name="result"
+        )
+
+    def _rewrite_having(
+        self,
+        predicate: Expr,
+        schema: RowSchema,
+        group_positions: list[int],
+        having_specs: list[AggSpec],
+    ) -> Expr:
+        """Rewrite a HAVING predicate against the grouped output schema.
+
+        Aggregate calls become references to hidden columns ``H0..``
+        (appending their specs to ``having_specs``); grouped column
+        references become ``G0..`` references.
+        """
+        from repro.sql import ast as A
+
+        def spec_for(call: FuncCall) -> ColumnRef:
+            if isinstance(call.arg, Star):
+                column: int | None = None
+            elif isinstance(call.arg, ColumnRef):
+                column = schema.index_of(call.arg)
+            else:
+                raise PlanError("HAVING aggregate argument must be a column or *")
+            spec = AggSpec(call.name, column, call.distinct)
+            if spec not in having_specs:
+                having_specs.append(spec)
+            return ColumnRef(None, f"H{having_specs.index(spec)}")
+
+        def rewrite(expr: Expr) -> Expr:
+            if isinstance(expr, FuncCall) and expr.is_aggregate:
+                return spec_for(expr)
+            if isinstance(expr, ColumnRef):
+                position = schema.index_of(expr)
+                if position not in group_positions:
+                    raise PlanError(
+                        f"HAVING references non-grouped column {expr.qualified()}"
+                    )
+                return ColumnRef(None, f"G{group_positions.index(position)}")
+            if isinstance(expr, A.Comparison):
+                return A.Comparison(
+                    rewrite(expr.left), expr.op, rewrite(expr.right), expr.outer
+                )
+            if isinstance(expr, A.And):
+                return A.And(tuple(rewrite(op) for op in expr.operands))
+            if isinstance(expr, A.Or):
+                return A.Or(tuple(rewrite(op) for op in expr.operands))
+            if isinstance(expr, A.Not):
+                return A.Not(rewrite(expr.operand))
+            if isinstance(expr, (A.Literal,)):
+                return expr
+            if isinstance(expr, A.IsNull):
+                return A.IsNull(rewrite(expr.operand), expr.negated)
+            if isinstance(expr, A.Between):
+                return A.Between(
+                    rewrite(expr.operand), rewrite(expr.low),
+                    rewrite(expr.high), expr.negated,
+                )
+            raise PlanError(f"unsupported HAVING expression: {to_sql(expr)}")
+
+        return rewrite(predicate)
+
+    def _grouping_satisfied(
+        self, sorted_on: tuple[int, ...], group_positions: list[int]
+    ) -> bool:
+        prefix = sorted_on[: len(group_positions)]
+        return set(prefix) == set(group_positions) and len(prefix) == len(
+            group_positions
+        )
+
+    def _plain_output(self, select: Select, state: _State) -> Relation:
+        names = self.output_names(select)
+        projections = []
+        for item, name in zip(select.items, names):
+            if isinstance(item.expr, Star):
+                raise PlanError("SELECT * is not supported in canonical queries")
+            projections.append((item.expr, None, name))
+        result = restrict_project(
+            state.relation, self.buffer, projections=projections, name="result"
+        )
+        self._log(
+            "project " + ", ".join(to_sql(item.expr) for item in select.items)
+        )
+        return result
+
+    def _order_output(self, select: Select, result: Relation) -> Relation:
+        positions = []
+        descending_flags = set()
+        for item in select.order_by:
+            descending_flags.add(item.descending)
+            if not isinstance(item.expr, ColumnRef):
+                raise PlanError("ORDER BY supports column references only")
+            positions.append(result.schema.index_of(item.expr))
+        if len(descending_flags) > 1:
+            raise PlanError("mixed ASC/DESC ORDER BY is not supported")
+        ordered = external_sort(result, positions, self.buffer, name="ordered")
+        if descending_flags == {True}:
+            reversed_rows = list(ordered)[::-1]
+            ordered = Relation.materialize(
+                ordered.schema, reversed_rows, self.buffer, name="ordered-desc"
+            )
+            self._log("reverse for ORDER BY DESC")
+        return ordered
+
+    # -- misc ------------------------------------------------------------------
+
+    def _ensure_sorted(self, state: _State, keys: tuple[int, ...]) -> Relation:
+        if state.sorted_on[: len(keys)] == keys:
+            self._log("input already sorted on join key (no sort)")
+            return state.relation
+        self._log(f"sort on columns {list(keys)}")
+        return external_sort(state.relation, list(keys), self.buffer, name="sorted")
+
+    def _reject_subqueries(self, select: Select) -> None:
+        for node in walk(select):
+            if isinstance(node, Select) and node is not select:
+                raise PlanError(
+                    "physical executor accepts single-level queries only; "
+                    "run the transformation pipeline first"
+                )
+
+    def _log(self, message: str) -> None:
+        self.steps.append(message)

@@ -1,0 +1,71 @@
+"""SQL frontend: tokenizer, AST, recursive-descent parser, and printer.
+
+The dialect is the one used throughout Ganski & Wong (1987) and Kim
+(1982): `SELECT` blocks with arbitrary nesting in the `WHERE` clause,
+scalar and set-membership nested predicates, aggregate functions,
+`GROUP BY`/`HAVING`, and the extended predicates `EXISTS`, `NOT EXISTS`,
+`ANY`, `ALL`.  The archaic forms that appear in the paper — ``IS IN``,
+``IS NOT IN``, ``!>``, ``!<`` and ``=ANY`` — are accepted and normalized.
+"""
+
+from repro.sql.ast import (
+    And,
+    Between,
+    BinaryArith,
+    ColumnRef,
+    Comparison,
+    Exists,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    OrderItem,
+    Quantified,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryMinus,
+)
+from repro.sql.lexer import Lexer, Token, TokenType, tokenize
+from repro.sql.parser import Parser, parse, parse_expression
+from repro.sql.printer import to_sql, to_sql_pretty
+from repro.sql.statements import parse_statement
+
+__all__ = [
+    "And",
+    "Between",
+    "BinaryArith",
+    "ColumnRef",
+    "Comparison",
+    "Exists",
+    "FuncCall",
+    "InList",
+    "InSubquery",
+    "IsNull",
+    "Lexer",
+    "Literal",
+    "Not",
+    "Or",
+    "OrderItem",
+    "Parser",
+    "Quantified",
+    "ScalarSubquery",
+    "Select",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "UnaryMinus",
+    "parse",
+    "parse_expression",
+    "parse_statement",
+    "to_sql",
+    "to_sql_pretty",
+    "tokenize",
+]

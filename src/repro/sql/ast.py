@@ -1,0 +1,472 @@
+"""Typed abstract syntax tree for the paper's SQL dialect.
+
+All nodes are frozen dataclasses.  Transformations (NEST-N-J, NEST-JA2,
+NEST-G, ...) never mutate a tree in place; they build rewritten copies
+with :func:`dataclasses.replace` or the helpers at the bottom of this
+module.  Frozen nodes give structural equality for free, which the test
+suite leans on heavily when comparing transformed queries against the
+paper's expected rewrites.
+
+Naming follows the paper: a :class:`Select` is a *query block*; a
+nested predicate is a :class:`Comparison`/:class:`InSubquery`/... whose
+right-hand side is an inner query block.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, replace
+
+#: Comparison operators after normalization (``!=`` → ``<>``,
+#: ``!>`` → ``<=``, ``!<`` → ``>=``).
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+#: Mapping from the paper's archaic operator spellings to normal forms.
+NORMALIZED_OPS = {"!=": "<>", "!>": "<=", "!<": ">="}
+
+#: Negation of each comparison operator, used by NOT-pushdown and by the
+#: ANY/ALL rewrites of section 8.
+NEGATED_OPS = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+#: Mirror image of each operator (``a op b``  ≡  ``b mirror(op) a``).
+MIRRORED_OPS = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+#: Aggregate function names recognized by the dialect.
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+class Node:
+    """Marker base class for all AST nodes."""
+
+    __slots__ = ()
+
+
+class Expr(Node):
+    """Marker base class for scalar expressions and predicates."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Scalar expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference such as ``SP.ORIGIN``.
+
+    Attributes:
+        table: the qualifying table name or alias, or None when the
+            reference is unqualified and must be bound by context.
+        column: the column name.
+    """
+
+    table: str | None
+    column: str
+
+    def qualified(self) -> str:
+        """Return the display form, e.g. ``"SP.ORIGIN"`` or ``"QOH"``."""
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: int, float, string, or None (the SQL NULL)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """The ``*`` in ``SELECT *`` or ``COUNT(*)`` (optionally qualified)."""
+
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function application, e.g. ``MAX(PNO)`` or ``COUNT(*)``.
+
+    Only the five SQL aggregates are meaningful to the engine; other
+    names parse but fail at bind time.
+
+    Attributes:
+        name: upper-case function name.
+        arg: the argument expression (a :class:`Star` for ``COUNT(*)``).
+        distinct: True for ``COUNT(DISTINCT c)`` and friends.
+    """
+
+    name: str
+    arg: Expr
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in AGGREGATE_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class UnaryMinus(Expr):
+    """Arithmetic negation ``-x``."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryArith(Expr):
+    """Arithmetic expression with op in ``+ - * /``."""
+
+    left: Expr
+    op: str
+    right: Expr
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A parenthesized query block used as a scalar value.
+
+    The inner block is expected to yield exactly one column and at most
+    one row (zero rows evaluate to NULL, the behaviour the paper assumes
+    in section 5.3: ``MAX({}) = NULL``).
+    """
+
+    query: "Select"
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """A comparison predicate ``left op right``.
+
+    Either side may be a :class:`ScalarSubquery`, which is how the
+    paper's scalar nested predicates (``Ri.Ch op Q``) are represented.
+
+    Attributes:
+        outer: None for an ordinary comparison; ``"left"``, ``"right"``
+            or ``"full"`` for the outer-join comparison of section 5.2
+            (the paper writes it ``R.X =+ S.Y``).  Only meaningful when
+            the comparison is used as a join predicate.
+    """
+
+    left: Expr
+    op: str
+    right: Expr
+    outer: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"invalid comparison operator {self.op!r}")
+        if self.outer not in (None, "left", "right", "full"):
+            raise ValueError(f"invalid outer-join marker {self.outer!r}")
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)`` with literal values."""
+
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)`` — the paper also writes ``IS IN``."""
+
+    operand: Expr
+    query: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """``[NOT] EXISTS (SELECT ...)`` (section 8.1)."""
+
+    query: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Quantified(Expr):
+    """``expr op ANY|ALL (SELECT ...)`` (section 8.2; SOME ≡ ANY)."""
+
+    operand: Expr
+    op: str
+    quantifier: str
+    query: "Select"
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"invalid comparison operator {self.op!r}")
+        if self.quantifier not in ("ANY", "ALL"):
+            raise ValueError(f"invalid quantifier {self.quantifier!r}")
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """N-ary conjunction."""
+
+    operands: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """N-ary disjunction."""
+
+    operands: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# Query blocks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef(Node):
+    """An entry in a FROM clause.
+
+    Attributes:
+        name: the catalog table name.
+        alias: optional alias; when present, column references use it.
+    """
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name columns are qualified with inside the block."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One item of a SELECT clause, with an optional output alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One item of an ORDER BY clause."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Node):
+    """A SQL query block (the paper's unit of nesting).
+
+    Attributes:
+        items: the SELECT clause.
+        from_tables: the FROM clause.
+        where: the WHERE predicate, or None.
+        group_by: GROUP BY expressions.
+        having: HAVING predicate, or None.
+        order_by: ORDER BY items.
+        distinct: True for ``SELECT DISTINCT``.
+    """
+
+    items: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    distinct: bool = False
+
+    @property
+    def table_bindings(self) -> tuple[str, ...]:
+        """Names that qualify columns of this block's own FROM clause."""
+        return tuple(ref.binding for ref in self.from_tables)
+
+    def has_aggregate_select(self) -> bool:
+        """True when any SELECT item contains an aggregate function call.
+
+        This is the test Kim's classification applies to the inner
+        query block to separate type-A/JA from type-N/J nesting.
+        """
+        return any(contains_aggregate(item.expr) for item in self.items)
+
+
+# ---------------------------------------------------------------------------
+# Tree utilities
+# ---------------------------------------------------------------------------
+
+
+def children(node: Node) -> Iterator[Node]:
+    """Yield the direct AST children of ``node`` (excluding None)."""
+    if isinstance(node, (ColumnRef, Literal, Star)):
+        return
+    elif isinstance(node, FuncCall):
+        yield node.arg
+    elif isinstance(node, UnaryMinus):
+        yield node.operand
+    elif isinstance(node, BinaryArith):
+        yield node.left
+        yield node.right
+    elif isinstance(node, ScalarSubquery):
+        yield node.query
+    elif isinstance(node, Comparison):
+        yield node.left
+        yield node.right
+    elif isinstance(node, IsNull):
+        yield node.operand
+    elif isinstance(node, InList):
+        yield node.operand
+        yield from node.items
+    elif isinstance(node, InSubquery):
+        yield node.operand
+        yield node.query
+    elif isinstance(node, Exists):
+        yield node.query
+    elif isinstance(node, Quantified):
+        yield node.operand
+        yield node.query
+    elif isinstance(node, Between):
+        yield node.operand
+        yield node.low
+        yield node.high
+    elif isinstance(node, (And, Or)):
+        yield from node.operands
+    elif isinstance(node, Not):
+        yield node.operand
+    elif isinstance(node, SelectItem):
+        yield node.expr
+    elif isinstance(node, OrderItem):
+        yield node.expr
+    elif isinstance(node, TableRef):
+        return
+    elif isinstance(node, Select):
+        yield from node.items
+        yield from node.from_tables
+        if node.where is not None:
+            yield node.where
+        yield from node.group_by
+        if node.having is not None:
+            yield node.having
+        yield from node.order_by
+    else:
+        raise TypeError(f"not an AST node: {node!r}")
+
+
+def walk(node: Node, *, into_subqueries: bool = True) -> Iterator[Node]:
+    """Yield ``node`` and all its descendants in preorder.
+
+    Args:
+        into_subqueries: when False, do not descend into nested
+            :class:`Select` blocks (their node is still yielded).  The
+            classification code uses this to examine one block at a time.
+    """
+    yield node
+    for child in children(node):
+        if not into_subqueries and isinstance(child, Select):
+            yield child
+            continue
+        yield from walk(child, into_subqueries=into_subqueries)
+
+
+def column_refs(node: Node, *, into_subqueries: bool = False) -> Iterator[ColumnRef]:
+    """Yield every :class:`ColumnRef` under ``node``.
+
+    By default nested query blocks are *not* entered, so the result is
+    the set of columns referenced by the current block itself.
+    """
+    for item in walk(node, into_subqueries=into_subqueries):
+        if isinstance(item, ColumnRef):
+            yield item
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True when ``expr`` contains an aggregate call outside subqueries."""
+    return any(
+        isinstance(node, FuncCall) and node.is_aggregate
+        for node in walk(expr, into_subqueries=False)
+    )
+
+
+def subquery_nodes(node: Node) -> Iterator[Expr]:
+    """Yield the predicate nodes of ``node`` that embed a query block.
+
+    Only the current block's own predicates are examined; blocks nested
+    inside those subqueries are not entered.
+    """
+    for item in walk(node, into_subqueries=False):
+        if isinstance(item, (ScalarSubquery, InSubquery, Exists, Quantified)):
+            yield item
+
+
+def conjuncts(predicate: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts.
+
+    ``None`` (no WHERE clause) flattens to the empty list.
+    """
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        result: list[Expr] = []
+        for operand in predicate.operands:
+            result.extend(conjuncts(operand))
+        return result
+    return [predicate]
+
+
+def make_and(predicates: Iterable[Expr | None]) -> Expr | None:
+    """AND together predicates, flattening and dropping Nones.
+
+    Returns None for an empty input, the single predicate for a
+    singleton, and a flattened :class:`And` otherwise.
+    """
+    flat: list[Expr] = []
+    for predicate in predicates:
+        if predicate is not None:
+            flat.extend(conjuncts(predicate))
+    if not flat:
+        return None
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def replace_where(block: Select, predicate: Expr | None) -> Select:
+    """Return ``block`` with its WHERE clause replaced."""
+    return replace(block, where=predicate)
+
+
+def fresh_name_generator(prefix: str = "TEMP") -> Iterator[str]:
+    """Yield an endless stream of distinct temp-table names."""
+    for index in itertools.count(1):
+        yield f"{prefix}{index}"

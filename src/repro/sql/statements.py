@@ -1,0 +1,170 @@
+"""DDL/DML statements beyond SELECT: CREATE TABLE, INSERT, DROP TABLE.
+
+The paper only needs SELECT, but a usable library (and the interactive
+shell, ``python -m repro``) wants to define and fill tables in SQL::
+
+    CREATE TABLE PARTS (PNUM INT, QOH INT, PRIMARY KEY (PNUM));
+    INSERT INTO PARTS VALUES (3, 6), (10, 1), (8, 0);
+    DROP TABLE PARTS;
+
+Statements are plain dataclasses; :func:`parse_statement` dispatches on
+the leading keyword and returns a :class:`Select` for queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.sql.ast import Literal, Select, UnaryMinus
+from repro.sql.lexer import TokenType
+from repro.sql.parser import Parser
+
+#: Column type names accepted by CREATE TABLE.
+TYPE_NAMES = ("INT", "INTEGER", "FLOAT", "REAL", "TEXT", "STRING", "DATE")
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """``CREATE TABLE name (col type, ..., [PRIMARY KEY (col, ...)])``."""
+
+    name: str
+    columns: tuple[tuple[str, str], ...]
+    primary_key: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class InsertValues:
+    """``INSERT INTO name VALUES (v, ...), (v, ...) ...``."""
+
+    table: str
+    rows: tuple[tuple[object, ...], ...]
+
+
+@dataclass(frozen=True)
+class DropTable:
+    """``DROP TABLE name``."""
+
+    name: str
+
+
+Statement = Select | CreateTable | InsertValues | DropTable
+
+
+class StatementParser(Parser):
+    """Extends the SELECT parser with DDL/DML statements."""
+
+    def parse_statement(self) -> Statement:
+        token = self._current
+        if token.matches(TokenType.KEYWORD, "SELECT"):
+            return self.parse_select()
+        if token.type is TokenType.IDENT and token.value == "CREATE":
+            return self._create_table()
+        if token.type is TokenType.IDENT and token.value == "INSERT":
+            return self._insert()
+        if token.type is TokenType.IDENT and token.value == "DROP":
+            return self._drop_table()
+        raise ParseError(
+            f"expected SELECT/CREATE/INSERT/DROP, found {token.value!r}",
+            token.position,
+        )
+
+    # -- CREATE TABLE ------------------------------------------------------
+
+    def _create_table(self) -> CreateTable:
+        self._expect_ident("CREATE")
+        self._expect_ident("TABLE")
+        name = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.PUNCT, "(")
+
+        columns: list[tuple[str, str]] = []
+        primary_key: tuple[str, ...] = ()
+        while True:
+            if (
+                self._current.type is TokenType.IDENT
+                and self._current.value == "PRIMARY"
+            ):
+                self._advance()
+                self._expect_ident("KEY")
+                self._expect(TokenType.PUNCT, "(")
+                keys = [self._expect(TokenType.IDENT).value]
+                while self._accept(TokenType.PUNCT, ","):
+                    keys.append(self._expect(TokenType.IDENT).value)
+                self._expect(TokenType.PUNCT, ")")
+                primary_key = tuple(keys)
+            else:
+                column = self._expect(TokenType.IDENT).value
+                type_token = self._expect(TokenType.IDENT)
+                if type_token.value not in TYPE_NAMES:
+                    raise ParseError(
+                        f"unknown column type {type_token.value!r}",
+                        type_token.position,
+                    )
+                columns.append((column, type_token.value))
+            if not self._accept(TokenType.PUNCT, ","):
+                break
+        self._expect(TokenType.PUNCT, ")")
+        self._finish()
+        if not columns:
+            raise ParseError("CREATE TABLE needs at least one column")
+        return CreateTable(name, tuple(columns), primary_key)
+
+    # -- INSERT --------------------------------------------------------------
+
+    def _insert(self) -> InsertValues:
+        self._expect_ident("INSERT")
+        self._expect_ident("INTO")
+        table = self._expect(TokenType.IDENT).value
+        self._expect_ident("VALUES")
+        rows = [self._value_row()]
+        while self._accept(TokenType.PUNCT, ","):
+            rows.append(self._value_row())
+        self._finish()
+        return InsertValues(table, tuple(rows))
+
+    def _value_row(self) -> tuple[object, ...]:
+        self._expect(TokenType.PUNCT, "(")
+        values = [self._literal_value()]
+        while self._accept(TokenType.PUNCT, ","):
+            values.append(self._literal_value())
+        self._expect(TokenType.PUNCT, ")")
+        return tuple(values)
+
+    def _literal_value(self) -> object:
+        expr = self._unary()
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, UnaryMinus) and isinstance(expr.operand, Literal):
+            value = expr.operand.value
+            if isinstance(value, (int, float)):
+                return -value
+        raise ParseError(
+            "INSERT VALUES accepts literals only", self._current.position
+        )
+
+    # -- DROP ------------------------------------------------------------------
+
+    def _drop_table(self) -> DropTable:
+        self._expect_ident("DROP")
+        self._expect_ident("TABLE")
+        name = self._expect(TokenType.IDENT).value
+        self._finish()
+        return DropTable(name)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _expect_ident(self, word: str) -> None:
+        token = self._current
+        if token.type is TokenType.IDENT and token.value == word:
+            self._advance()
+            return
+        raise ParseError(f"expected {word}, found {token.value!r}", token.position)
+
+    def _finish(self) -> None:
+        self._accept(TokenType.PUNCT, ";")
+        self._expect(TokenType.EOF)
+
+
+def parse_statement(source: str) -> Statement:
+    """Parse one statement (SELECT, CREATE TABLE, INSERT, DROP TABLE)."""
+    return StatementParser(source).parse_statement()

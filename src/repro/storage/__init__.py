@@ -1,0 +1,41 @@
+"""Page-based storage engine with measurable disk I/O.
+
+The paper's unit of cost is the **disk page I/O** (section 7: "The
+measure of performance is the number of disk page I/O's required").
+Every byte a query touches therefore flows through this subsystem:
+
+* :class:`~repro.storage.disk.DiskManager` — the simulated disk; holds
+  pages and counts every page read and write.
+* :class:`~repro.storage.buffer.BufferPool` — an LRU cache of exactly
+  ``B`` pages (the paper's main-memory buffer space).
+* :class:`~repro.storage.heap.HeapFile` — an unordered collection of
+  pages storing a relation, scanned sequentially as the paper assumes.
+* :class:`~repro.storage.stats.IOStats` — a snapshot of the counters,
+  used by benchmarks to report paper-style page-I/O figures.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heap import HeapFile
+from repro.storage.page import PAGE_CAPACITY_DEFAULT, Page
+from repro.storage.stats import IOStats
+
+__all__ = [
+    "BufferPool",
+    "DiskManager",
+    "HeapFile",
+    "IOStats",
+    "IsamIndex",
+    "PAGE_CAPACITY_DEFAULT",
+    "Page",
+]
+
+
+def __getattr__(name: str):
+    # IsamIndex is imported lazily: it pulls in repro.engine for its
+    # key ordering, and eager import here would be circular.
+    if name == "IsamIndex":
+        from repro.storage.index import IsamIndex
+
+        return IsamIndex
+    raise AttributeError(name)

@@ -1,0 +1,87 @@
+"""Simulated disk: page store plus the I/O counters the paper measures."""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.page import PAGE_CAPACITY_DEFAULT, Page
+from repro.storage.stats import IOStats
+
+
+class DiskManager:
+    """Holds pages and counts every page read and write.
+
+    The "disk" is a dict from page id to a frozen snapshot of the
+    page's tuples.  Reads return a fresh :class:`Page` object so buffer
+    frames never alias disk state.
+    """
+
+    def __init__(self) -> None:
+        self._pages: dict[int, tuple[tuple, ...]] = {}
+        self._capacities: dict[int, int] = {}
+        self._next_page_id = 0
+        self.page_reads = 0
+        self.page_writes = 0
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self, capacity: int = PAGE_CAPACITY_DEFAULT) -> int:
+        """Allocate a fresh, empty page and return its id.
+
+        Allocation itself is free (no I/O is counted); the page is
+        charged when it is first written back.
+        """
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        self._pages[page_id] = ()
+        self._capacities[page_id] = capacity
+        return page_id
+
+    def deallocate(self, page_id: int) -> None:
+        """Release a page (no I/O is counted)."""
+        self._check_exists(page_id)
+        del self._pages[page_id]
+        del self._capacities[page_id]
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def exists(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    # -- I/O -----------------------------------------------------------------
+
+    def read_page(self, page_id: int) -> Page:
+        """Fetch a page from disk (counts one page read)."""
+        self._check_exists(page_id)
+        self.page_reads += 1
+        return Page(
+            page_id,
+            capacity=self._capacities[page_id],
+            rows=list(self._pages[page_id]),
+        )
+
+    def write_page(self, page: Page) -> None:
+        """Write a page back to disk (counts one page write)."""
+        self._check_exists(page.page_id)
+        self.page_writes += 1
+        self._pages[page.page_id] = tuple(page.rows)
+
+    # -- statistics ----------------------------------------------------------
+
+    def stats(self, buffer_hits: int = 0) -> IOStats:
+        """Snapshot the counters (optionally folding in buffer hits)."""
+        return IOStats(
+            page_reads=self.page_reads,
+            page_writes=self.page_writes,
+            buffer_hits=buffer_hits,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the counters (used between benchmark phases)."""
+        self.page_reads = 0
+        self.page_writes = 0
+
+    def _check_exists(self, page_id: int) -> None:
+        if page_id not in self._pages:
+            raise StorageError(f"no such page: {page_id}")

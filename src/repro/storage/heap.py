@@ -1,0 +1,135 @@
+"""Heap files: unordered paged storage for one relation.
+
+A heap file owns an ordered list of page ids.  ``scan()`` reads the
+pages in order through the buffer pool, which is the sequential scan
+the paper's cost model assumes ("for simplicity relations Ri and Rj are
+scanned sequentially", section 7).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PAGE_CAPACITY_DEFAULT
+
+
+class HeapFile:
+    """An append-only paged file of tuples."""
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        rows_per_page: int = PAGE_CAPACITY_DEFAULT,
+        name: str | None = None,
+    ) -> None:
+        self.buffer = buffer
+        self.rows_per_page = rows_per_page
+        self.name = name
+        self.page_ids: list[int] = []
+        self._num_rows = 0
+        self._tail_pinned: int | None = None
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, row: tuple) -> None:
+        """Append one tuple, allocating a new page when the tail is full.
+
+        The tail page stays pinned in the buffer pool between appends
+        (as a real write cursor would be), so filling a page costs
+        exactly one eventual write, never an evict/re-read churn.
+        """
+        if self.page_ids:
+            tail = self.buffer.get_page(self.page_ids[-1])
+            if self._tail_pinned != tail.page_id:
+                self._unpin_tail()
+                self.buffer.pin(tail.page_id)
+                self._tail_pinned = tail.page_id
+            if not tail.is_full:
+                tail.append(row)
+                self._num_rows += 1
+                return
+        self._unpin_tail()
+        page = self.buffer.new_page(self.rows_per_page)
+        self.buffer.pin(page.page_id)
+        self._tail_pinned = page.page_id
+        page.append(row)
+        self.page_ids.append(page.page_id)
+        self._num_rows += 1
+
+    def extend(self, rows: Iterable[tuple]) -> None:
+        """Append many tuples and release the write cursor."""
+        for row in rows:
+            self.append(row)
+        self.close_writes()
+
+    def close_writes(self) -> None:
+        """Release the pinned write cursor (safe to call repeatedly)."""
+        self._unpin_tail()
+
+    def flush(self) -> None:
+        """Force all of this file's dirty pages to disk."""
+        self.close_writes()
+        for page_id in self.page_ids:
+            self.buffer.flush_page(page_id)
+
+    def truncate(self) -> None:
+        """Drop all pages (frees them on the simulated disk, no I/O)."""
+        self.close_writes()
+        for page_id in self.page_ids:
+            self.buffer.discard(page_id)
+            self.buffer.disk.deallocate(page_id)
+        self.page_ids.clear()
+        self._num_rows = 0
+
+    def _unpin_tail(self) -> None:
+        if self._tail_pinned is not None:
+            self.buffer.unpin(self._tail_pinned)
+            self._tail_pinned = None
+
+    # -- reading ---------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple]:
+        """Yield every tuple, reading pages sequentially via the buffer."""
+        for page_id in self.page_ids:
+            page = self.buffer.get_page(page_id)
+            yield from page.rows
+
+    def scan_pages(self) -> Iterator[list[tuple]]:
+        """Yield the file page by page (used by the external sort)."""
+        for page_id in self.page_ids:
+            yield list(self.buffer.get_page(page_id).rows)
+
+    def scan_with_positions(self) -> Iterator[tuple[tuple[int, int], tuple]]:
+        """Yield ``((page_id, slot), row)`` pairs — used by index builds."""
+        for page_id in self.page_ids:
+            page = self.buffer.get_page(page_id)
+            for slot, row in enumerate(page.rows):
+                yield (page_id, slot), row
+
+    def fetch(self, page_id: int, slot: int) -> tuple:
+        """Fetch one tuple by position (an index probe's heap access).
+
+        Reads the page through the buffer pool, so probes are charged
+        page I/O like every other access.
+        """
+        page = self.buffer.get_page(page_id)
+        return page.rows[slot]
+
+    # -- metadata --------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Page count — the paper's ``Pk`` for this relation."""
+        return len(self.page_ids)
+
+    @property
+    def num_rows(self) -> int:
+        """Tuple count — the paper's ``Nk`` for this relation."""
+        return self._num_rows
+
+    def __repr__(self) -> str:
+        label = self.name or "?"
+        return (
+            f"HeapFile({label}, pages={self.num_pages}, rows={self.num_rows})"
+        )

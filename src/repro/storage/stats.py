@@ -1,0 +1,49 @@
+"""I/O statistics: the quantity every benchmark in this repo reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IOStats:
+    """A snapshot of storage-engine counters.
+
+    Attributes:
+        page_reads: pages fetched from the simulated disk.
+        page_writes: pages written to the simulated disk.
+        buffer_hits: page requests satisfied by the buffer pool without
+            touching the disk.
+    """
+
+    page_reads: int = 0
+    page_writes: int = 0
+    buffer_hits: int = 0
+
+    @property
+    def page_ios(self) -> int:
+        """Total page I/Os — the paper's cost measure (reads + writes)."""
+        return self.page_reads + self.page_writes
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        """Delta between two snapshots (``after - before``)."""
+        return IOStats(
+            page_reads=self.page_reads - other.page_reads,
+            page_writes=self.page_writes - other.page_writes,
+            buffer_hits=self.buffer_hits - other.buffer_hits,
+        )
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            page_reads=self.page_reads + other.page_reads,
+            page_writes=self.page_writes + other.page_writes,
+            buffer_hits=self.buffer_hits + other.buffer_hits,
+        )
+
+    def format(self) -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"{self.page_ios} page I/Os "
+            f"({self.page_reads} reads, {self.page_writes} writes, "
+            f"{self.buffer_hits} buffer hits)"
+        )

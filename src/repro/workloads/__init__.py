@@ -1,0 +1,19 @@
+"""Workloads: the paper's exact example instances and synthetic generators."""
+
+from repro.workloads.paper_data import (
+    KIESSLING_Q2,
+    QUERY_Q5,
+    load_duplicates_instance,
+    load_kiessling_instance,
+    load_operator_bug_instance,
+    load_supplier_parts,
+)
+
+__all__ = [
+    "KIESSLING_Q2",
+    "QUERY_Q5",
+    "load_duplicates_instance",
+    "load_kiessling_instance",
+    "load_operator_bug_instance",
+    "load_supplier_parts",
+]

@@ -1,0 +1,273 @@
+"""The paper's example relations and queries, verbatim.
+
+Three PARTS/SUPPLY instances appear in section 5, each crafted to
+expose one bug in Kim's NEST-JA:
+
+* :func:`load_kiessling_instance` — section 5.1 (Kiessling's COUNT bug);
+* :func:`load_operator_bug_instance` — section 5.3 (non-equality join
+  operator, query Q5);
+* :func:`load_duplicates_instance` — section 5.4 (duplicates in the
+  outer join column).
+
+Dates are normalized to ISO strings (see DESIGN.md): the paper's
+``1-1-80`` cutoff becomes ``'1980-01-01'`` and e.g. ``7-3-79``
+becomes ``'1979-07-03'``.
+
+The supplier/parts/shipments schema of the introduction (S, P, SP) is
+provided with a small consistent instance for the worked examples and
+the quickstart.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import ColumnType, schema
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+PARTS_SCHEMA = schema("PARTS", "PNUM", "QOH", key=("PNUM",))
+SUPPLY_SCHEMA = schema(
+    "SUPPLY", "PNUM", "QUAN", ("SHIPDATE", ColumnType.DATE)
+)
+
+S_SCHEMA = schema(
+    "S",
+    ("SNO", ColumnType.TEXT),
+    ("SNAME", ColumnType.TEXT),
+    "STATUS",
+    ("CITY", ColumnType.TEXT),
+    key=("SNO",),
+)
+P_SCHEMA = schema(
+    "P",
+    ("PNO", ColumnType.TEXT),
+    ("PNAME", ColumnType.TEXT),
+    ("COLOR", ColumnType.TEXT),
+    "WEIGHT",
+    ("CITY", ColumnType.TEXT),
+    key=("PNO",),
+)
+SP_SCHEMA = schema(
+    "SP",
+    ("SNO", ColumnType.TEXT),
+    ("PNO", ColumnType.TEXT),
+    "QTY",
+    ("ORIGIN", ColumnType.TEXT),
+    key=("SNO", "PNO"),
+)
+
+#: The cutoff date used by Kiessling's queries, in ISO form.
+CUTOFF_1980 = "1980-01-01"
+
+# ---------------------------------------------------------------------------
+# Section 5.1 — the COUNT bug instance [KIE 84:2]
+# ---------------------------------------------------------------------------
+
+KIESSLING_PARTS = [(3, 6), (10, 1), (8, 0)]
+KIESSLING_SUPPLY = [
+    (3, 4, "1979-07-03"),
+    (3, 2, "1978-10-01"),
+    (10, 1, "1978-06-08"),
+    (10, 2, "1981-08-10"),
+    (8, 5, "1983-05-07"),
+]
+
+#: Kiessling's query Q2: "Find the part numbers of those parts whose
+#: quantities on hand equal the number of shipments of those parts
+#: before 1-1-80."  Nested-iteration result: {10, 8}.
+KIESSLING_Q2 = f"""
+    SELECT PNUM
+    FROM PARTS
+    WHERE QOH = (SELECT COUNT(SHIPDATE)
+                 FROM SUPPLY
+                 WHERE SUPPLY.PNUM = PARTS.PNUM AND
+                       SHIPDATE < '{CUTOFF_1980}')
+"""
+
+#: Variant with COUNT(*) (section 5.2.1's sub-case).
+KIESSLING_Q2_COUNT_STAR = f"""
+    SELECT PNUM
+    FROM PARTS
+    WHERE QOH = (SELECT COUNT(*)
+                 FROM SUPPLY
+                 WHERE SUPPLY.PNUM = PARTS.PNUM AND
+                       SHIPDATE < '{CUTOFF_1980}')
+"""
+
+# ---------------------------------------------------------------------------
+# Section 5.3 — the non-equality-operator instance
+# ---------------------------------------------------------------------------
+
+OPERATOR_BUG_PARTS = [(3, 0), (10, 4), (8, 4)]
+OPERATOR_BUG_SUPPLY = [
+    (3, 4, "1979-07-03"),
+    (3, 2, "1978-10-01"),
+    (10, 1, "1978-06-08"),
+    (9, 5, "1979-03-02"),
+]
+
+#: Query Q5: Kiessling's Q1 with ``<`` substituted for ``=`` in the
+#: correlated join predicate.  Nested-iteration result: {8}.
+QUERY_Q5 = f"""
+    SELECT PNUM
+    FROM PARTS
+    WHERE QOH = (SELECT MAX(QUAN)
+                 FROM SUPPLY
+                 WHERE SUPPLY.PNUM < PARTS.PNUM AND
+                       SHIPDATE < '{CUTOFF_1980}')
+"""
+
+# ---------------------------------------------------------------------------
+# Section 5.4 — the duplicates instance
+# ---------------------------------------------------------------------------
+
+DUPLICATES_PARTS = [(3, 6), (3, 2), (10, 1), (10, 0), (8, 0)]
+DUPLICATES_SUPPLY = [
+    (3, 4, "1977-08-14"),
+    (3, 2, "1978-11-11"),
+    (10, 1, "1976-06-22"),
+]
+
+# ---------------------------------------------------------------------------
+# Introduction — suppliers, parts, shipments
+# ---------------------------------------------------------------------------
+
+S_ROWS = [
+    ("S1", "Smith", 20, "London"),
+    ("S2", "Jones", 10, "Paris"),
+    ("S3", "Blake", 30, "Paris"),
+    ("S4", "Clark", 20, "London"),
+    ("S5", "Adams", 30, "Athens"),
+]
+P_ROWS = [
+    ("P1", "Nut", "Red", 12, "London"),
+    ("P2", "Bolt", "Green", 17, "Paris"),
+    ("P3", "Screw", "Blue", 17, "Oslo"),
+    ("P4", "Screw", "Red", 14, "London"),
+    ("P5", "Cam", "Blue", 12, "Paris"),
+    ("P6", "Cog", "Red", 19, "London"),
+]
+SP_ROWS = [
+    ("S1", "P1", 300, "London"),
+    ("S1", "P2", 200, "Paris"),
+    ("S1", "P3", 400, "Oslo"),
+    ("S1", "P4", 200, "London"),
+    ("S1", "P5", 100, "Paris"),
+    ("S1", "P6", 100, "London"),
+    ("S2", "P1", 300, "Paris"),
+    ("S2", "P2", 400, "Paris"),
+    ("S3", "P2", 200, "Paris"),
+    ("S4", "P2", 200, "London"),
+    ("S4", "P4", 300, "London"),
+    ("S4", "P5", 400, "London"),
+]
+
+#: The paper's example (1): names of suppliers who supply part P2.
+INTRO_QUERY_1 = """
+    SELECT SNAME
+    FROM S
+    WHERE SNO IN (SELECT SNO
+                  FROM SP
+                  WHERE PNO = 'P2')
+"""
+
+#: Example (2): type-A nesting.
+TYPE_A_QUERY = "SELECT SNO FROM SP WHERE PNO = (SELECT MAX(PNO) FROM P)"
+
+#: Example (3): type-N nesting.
+TYPE_N_QUERY = """
+    SELECT SNO
+    FROM SP
+    WHERE PNO IN (SELECT PNO
+                  FROM P
+                  WHERE WEIGHT > 15)
+"""
+
+#: Example (4): type-J nesting.
+TYPE_J_QUERY = """
+    SELECT SNAME
+    FROM S
+    WHERE SNO IN (SELECT SNO
+                  FROM SP
+                  WHERE QTY > 100 AND
+                        SP.ORIGIN = S.CITY)
+"""
+
+#: Example (5): type-JA nesting — "names of parts which have the highest
+#: part number in the city from which they are supplied".
+TYPE_JA_QUERY = """
+    SELECT PNAME
+    FROM P
+    WHERE PNO = (SELECT MAX(PNO)
+                 FROM SP
+                 WHERE SP.ORIGIN = P.CITY)
+"""
+
+
+# ---------------------------------------------------------------------------
+# Loaders
+# ---------------------------------------------------------------------------
+
+
+def fresh_catalog(buffer_pages: int = 8) -> Catalog:
+    """A new catalog over a new simulated disk and buffer pool."""
+    return Catalog(BufferPool(DiskManager(), capacity=buffer_pages))
+
+
+def _load_parts_supply(
+    parts_rows: list[tuple],
+    supply_rows: list[tuple],
+    buffer_pages: int,
+    rows_per_page: int | None,
+) -> Catalog:
+    catalog = fresh_catalog(buffer_pages)
+    catalog.create_table(PARTS_SCHEMA, rows_per_page=rows_per_page)
+    catalog.create_table(SUPPLY_SCHEMA, rows_per_page=rows_per_page)
+    catalog.insert("PARTS", parts_rows)
+    catalog.insert("SUPPLY", supply_rows)
+    return catalog
+
+
+def load_kiessling_instance(
+    buffer_pages: int = 8, rows_per_page: int | None = None
+) -> Catalog:
+    """The section 5.1 instance (Kiessling's COUNT-bug tables)."""
+    return _load_parts_supply(
+        KIESSLING_PARTS, KIESSLING_SUPPLY, buffer_pages, rows_per_page
+    )
+
+
+def load_operator_bug_instance(
+    buffer_pages: int = 8, rows_per_page: int | None = None
+) -> Catalog:
+    """The section 5.3 instance (query Q5's tables)."""
+    return _load_parts_supply(
+        OPERATOR_BUG_PARTS, OPERATOR_BUG_SUPPLY, buffer_pages, rows_per_page
+    )
+
+
+def load_duplicates_instance(
+    buffer_pages: int = 8, rows_per_page: int | None = None
+) -> Catalog:
+    """The section 5.4 instance (duplicate PNUMs in PARTS)."""
+    return _load_parts_supply(
+        DUPLICATES_PARTS, DUPLICATES_SUPPLY, buffer_pages, rows_per_page
+    )
+
+
+def load_supplier_parts(
+    buffer_pages: int = 8, rows_per_page: int | None = None
+) -> Catalog:
+    """The introduction's S / P / SP database."""
+    catalog = fresh_catalog(buffer_pages)
+    catalog.create_table(S_SCHEMA, rows_per_page=rows_per_page)
+    catalog.create_table(P_SCHEMA, rows_per_page=rows_per_page)
+    catalog.create_table(SP_SCHEMA, rows_per_page=rows_per_page)
+    catalog.insert("S", S_ROWS)
+    catalog.insert("P", P_ROWS)
+    catalog.insert("SP", SP_ROWS)
+    return catalog

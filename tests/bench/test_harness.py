@@ -1,0 +1,85 @@
+"""Tests for the benchmark harness and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import MeasuredRun, compare_methods, measure
+from repro.bench.reporting import format_table, savings_percent
+from repro.workloads.paper_data import (
+    KIESSLING_Q2,
+    load_kiessling_instance,
+    load_supplier_parts,
+    TYPE_J_QUERY,
+)
+
+
+class TestMeasure:
+    def test_measure_is_cold(self):
+        catalog = load_kiessling_instance(rows_per_page=1)
+        # Warm everything up first; measure must still see cold reads.
+        list(catalog.heap_of("PARTS").scan())
+        run = measure(catalog, "SELECT PNUM FROM PARTS", "nested_iteration")
+        assert run.io.page_reads >= catalog.heap_of("PARTS").num_pages
+
+    def test_measure_reports_rows_and_time(self):
+        catalog = load_kiessling_instance()
+        run = measure(catalog, KIESSLING_Q2, "nested_iteration")
+        assert sorted(run.rows) == [(8,), (10,)]
+        assert run.seconds >= 0
+        assert run.page_ios == run.io.page_ios
+
+    def test_repeated_measurements_are_stable(self):
+        catalog = load_kiessling_instance()
+        first = measure(catalog, KIESSLING_Q2, "transform")
+        second = measure(catalog, KIESSLING_Q2, "transform")
+        assert first.page_ios == second.page_ios
+        assert first.rows == second.rows
+
+
+class TestCompareMethods:
+    def test_bag_check_passes_for_ja2(self):
+        catalog = load_kiessling_instance()
+        ni, tr = compare_methods(catalog, KIESSLING_Q2)
+        assert sorted(ni.rows) == sorted(tr.rows)
+
+    def test_bag_check_fails_loudly_for_type_j_duplicates(self):
+        catalog = load_supplier_parts()
+        with pytest.raises(AssertionError):
+            compare_methods(catalog, TYPE_J_QUERY, check="bag")
+
+    def test_set_check_accepts_type_j(self):
+        catalog = load_supplier_parts()
+        ni, tr = compare_methods(catalog, TYPE_J_QUERY, check="set")
+        assert set(ni.rows) == set(tr.rows)
+
+    def test_kim_algorithm_disables_checking(self):
+        catalog = load_kiessling_instance()
+        ni, tr = compare_methods(catalog, KIESSLING_Q2, ja_algorithm="kim")
+        assert sorted(ni.rows) != sorted(tr.rows)  # the bug, unchecked
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 12345]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "12,345" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[478.649]])
+        assert "478.6" in text
+
+    def test_savings_percent(self):
+        assert savings_percent(100, 20) == pytest.approx(80.0)
+        assert savings_percent(0, 5) == 0.0
+        assert savings_percent(100, 100) == 0.0
+        assert savings_percent(100, 150) == pytest.approx(-50.0)

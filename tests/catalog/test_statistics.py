@@ -1,0 +1,143 @@
+"""Tests for ANALYZE statistics and their use by the planner."""
+
+import pytest
+
+from repro.catalog.statistics import (
+    ColumnStatistics,
+    analyze_all,
+    analyze_table,
+)
+from repro.optimizer.planner import Planner
+from repro.workloads.generators import (
+    GENERATED_JA_QUERY,
+    PartsSupplySpec,
+    build_parts_supply,
+)
+from repro.workloads.paper_data import (
+    load_duplicates_instance,
+    load_kiessling_instance,
+)
+
+
+class TestAnalyzeTable:
+    def test_row_and_page_counts(self):
+        catalog = load_kiessling_instance(rows_per_page=2)
+        stats = analyze_table(catalog, "SUPPLY")
+        assert stats.num_rows == 5
+        assert stats.num_pages == 3
+
+    def test_distinct_counts(self):
+        catalog = load_kiessling_instance()
+        stats = analyze_table(catalog, "SUPPLY")
+        assert stats.columns["PNUM"].distinct == 3
+        assert stats.columns["SHIPDATE"].distinct == 5
+
+    def test_min_max(self):
+        catalog = load_kiessling_instance()
+        stats = analyze_table(catalog, "PARTS")
+        assert stats.columns["PNUM"].min_value == 3
+        assert stats.columns["PNUM"].max_value == 10
+        assert stats.columns["QOH"].min_value == 0
+        assert stats.columns["QOH"].max_value == 6
+
+    def test_null_counting(self):
+        from repro.catalog.schema import schema
+        from repro.workloads.paper_data import fresh_catalog
+
+        catalog = fresh_catalog()
+        catalog.create_table(schema("T", "A"))
+        catalog.insert("T", [(1,), (None,), (None,)])
+        stats = analyze_table(catalog, "T")
+        assert stats.columns["A"].null_count == 2
+        assert stats.columns["A"].distinct == 1
+
+    def test_stored_in_catalog_and_dropped_with_table(self):
+        catalog = load_kiessling_instance()
+        analyze_table(catalog, "PARTS")
+        assert "PARTS" in catalog.statistics
+        catalog.drop_table("PARTS")
+        assert "PARTS" not in catalog.statistics
+
+    def test_analyze_all_skips_temps(self):
+        catalog = load_kiessling_instance()
+        stats = analyze_all(catalog)
+        assert set(stats) == {"PARTS", "SUPPLY"}
+
+
+class TestColumnStatistics:
+    def test_equality_selectivity(self):
+        stats = ColumnStatistics(distinct=20, null_count=0)
+        assert stats.equality_selectivity() == pytest.approx(0.05)
+
+    def test_range_interpolation(self):
+        stats = ColumnStatistics(
+            distinct=10, null_count=0, min_value=0, max_value=100
+        )
+        assert stats.range_selectivity("<", 25) == pytest.approx(0.25)
+        assert stats.range_selectivity(">", 25) == pytest.approx(0.75)
+        assert stats.range_selectivity("<=", 200) == 1.0
+        assert stats.range_selectivity(">=", -5) == 1.0
+
+    def test_interpolation_unavailable_for_strings(self):
+        stats = ColumnStatistics(
+            distinct=3, null_count=0, min_value="a", max_value="z"
+        )
+        assert stats.range_selectivity("<", "m") is None
+
+    def test_interpolation_unavailable_for_degenerate_range(self):
+        stats = ColumnStatistics(
+            distinct=1, null_count=0, min_value=5, max_value=5
+        )
+        assert stats.range_selectivity("<", 5) is None
+
+
+class TestPlannerWithStatistics:
+    def make_catalog(self):
+        spec = PartsSupplySpec(
+            num_parts=60, num_supply=400, rows_per_page=10,
+            buffer_pages=4, seed=61,
+        )
+        return build_parts_supply(spec)
+
+    def test_equality_selectivity_uses_distinct_count(self):
+        catalog = self.make_catalog()
+        analyze_all(catalog)
+        distinct = catalog.statistics["PARTS"].columns["PNUM"].distinct
+        base = Planner(catalog).choose(GENERATED_JA_QUERY)
+        restricted = Planner(catalog).choose(
+            GENERATED_JA_QUERY.replace("WHERE QOH =", "WHERE PNUM = 3 AND QOH =")
+        )
+        ratio = restricted.parameters.fi_ni / base.parameters.fi_ni
+        assert ratio == pytest.approx(1.0 / distinct)
+
+    def test_range_selectivity_interpolates(self):
+        catalog = self.make_catalog()
+        analyze_all(catalog)
+        stats = catalog.statistics["PARTS"].columns["PNUM"]
+        midpoint = (stats.min_value + stats.max_value) / 2
+        base = Planner(catalog).choose(GENERATED_JA_QUERY)
+        restricted = Planner(catalog).choose(
+            GENERATED_JA_QUERY.replace(
+                "WHERE QOH =", f"WHERE PNUM < {int(midpoint)} AND QOH ="
+            )
+        )
+        ratio = restricted.parameters.fi_ni / base.parameters.fi_ni
+        assert 0.3 < ratio < 0.7  # interpolation, not the 1/3 default... close
+
+    def test_temp1_estimate_uses_exact_distinct_count(self):
+        """With duplicates in the outer join column, statistics give
+        the exact TEMP1 cardinality instead of the 0.9 heuristic."""
+        catalog = load_duplicates_instance()
+        from repro.workloads.paper_data import KIESSLING_Q2
+
+        without = Planner(catalog).choose(KIESSLING_Q2)
+        analyze_all(catalog)
+        with_stats = Planner(catalog).choose(KIESSLING_Q2)
+        assert with_stats.parameters.nt2 == 3  # distinct PNUMs
+        assert without.parameters.nt2 != with_stats.parameters.nt2
+
+    def test_choice_still_sound_with_statistics(self):
+        catalog = self.make_catalog()
+        analyze_all(catalog)
+        choice = Planner(catalog).choose(GENERATED_JA_QUERY)
+        assert choice.method == "transform"

@@ -1,0 +1,172 @@
+"""Tests for algorithm NEST-N-J (paper section 3.1, Kim's Lemma 1)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.nest_nj import apply_nest_nj, dedupe_inner_setup
+from repro.core.pipeline import Engine
+from repro.errors import TransformError
+from repro.sql.ast import Comparison, TableRef
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+from repro.workloads.paper_data import (
+    TYPE_J_QUERY,
+    TYPE_N_QUERY,
+    fresh_catalog,
+    load_supplier_parts,
+)
+from repro.catalog.schema import schema
+
+from tests.core.helpers import assert_equivalent
+
+
+def first_nested_conjunct(block):
+    from repro.sql.ast import InSubquery, conjuncts
+
+    for conjunct in conjuncts(block.where):
+        if isinstance(conjunct, InSubquery):
+            return conjunct
+    raise AssertionError("no nested predicate found")
+
+
+class TestAlgorithmSteps:
+    def test_lemma_1_shape(self):
+        """Kim's Lemma 1: Q2 transforms to the canonical join Q1."""
+        block = parse(
+            "SELECT RI.CK FROM RI WHERE RI.CH IN (SELECT RJ.CM FROM RJ)"
+        )
+        merged = apply_nest_nj(block, block.where)
+        assert to_sql(merged) == (
+            "SELECT RI.CK FROM RI, RJ WHERE RI.CH = RJ.CM"
+        )
+
+    def test_from_clauses_combined_in_order(self):
+        block = parse(
+            "SELECT SNO FROM SP WHERE PNO IN (SELECT PNO FROM P WHERE WEIGHT > 15)"
+        )
+        merged = apply_nest_nj(block, block.where)
+        assert merged.from_tables == (TableRef("SP"), TableRef("P"))
+
+    def test_where_clauses_anded(self):
+        # NEST-N-J itself does not qualify columns (the pipeline's
+        # qualification pass runs first); the merge is purely structural.
+        block = parse(
+            "SELECT SP.SNO FROM SP WHERE SP.QTY > 100 AND "
+            "SP.PNO IN (SELECT P.PNO FROM P WHERE P.WEIGHT > 15)"
+        )
+        merged = apply_nest_nj(block, first_nested_conjunct(block))
+        assert to_sql(merged) == (
+            "SELECT SP.SNO FROM SP, P WHERE SP.QTY > 100 AND SP.PNO = P.PNO "
+            "AND P.WEIGHT > 15"
+        )
+
+    def test_outer_select_clause_retained(self):
+        block = parse(
+            "SELECT SNAME FROM S WHERE SNO IN (SELECT SNO FROM SP)"
+        )
+        merged = apply_nest_nj(block, block.where)
+        assert to_sql(merged).startswith("SELECT SNAME FROM")
+
+    def test_scalar_comparison_with_subquery(self):
+        block = parse(
+            "SELECT A FROM T WHERE A < (SELECT B FROM U WHERE U.C = 1)"
+        )
+        merged = apply_nest_nj(block, block.where)
+        assert to_sql(merged) == "SELECT A FROM T, U WHERE A < B AND U.C = 1"
+
+    def test_binding_collision_raises(self):
+        block = parse("SELECT A FROM T WHERE A IN (SELECT A FROM T)")
+        with pytest.raises(TransformError):
+            apply_nest_nj(block, block.where)
+
+    def test_not_in_raises(self):
+        block = parse("SELECT A FROM T WHERE A NOT IN (SELECT B FROM U)")
+        with pytest.raises(TransformError):
+            apply_nest_nj(block, block.where)
+
+    def test_aggregate_inner_raises(self):
+        block = parse("SELECT A FROM T WHERE A = (SELECT MAX(B) FROM U)")
+        with pytest.raises(TransformError):
+            apply_nest_nj(block, block.where)
+
+    def test_inner_group_by_raises(self):
+        block = parse(
+            "SELECT A FROM T WHERE A IN (SELECT B FROM U GROUP BY B)"
+        )
+        with pytest.raises(TransformError):
+            apply_nest_nj(block, block.where)
+
+
+class TestSemantics:
+    def test_type_n_equivalent_on_supplier_data(self):
+        assert_equivalent(load_supplier_parts(), TYPE_N_QUERY)
+
+    def test_type_j_set_equivalent(self):
+        """Paper-literal NEST-N-J: sets match, multiplicities may not
+        (the documented Lemma-1 duplicates caveat)."""
+        catalog = load_supplier_parts()
+        engine = Engine(catalog)
+        ni = engine.run(TYPE_J_QUERY, method="nested_iteration")
+        tr = engine.run(TYPE_J_QUERY, method="transform")
+        assert set(tr.result.rows) == set(ni.result.rows)
+
+    def test_type_n_duplicates_in_inner_inflate_result(self):
+        """The caveat itself: duplicate inner values duplicate outer rows."""
+        catalog = fresh_catalog()
+        catalog.create_table(schema("T", "A"))
+        catalog.create_table(schema("U", "B"))
+        catalog.insert("T", [(1,)])
+        catalog.insert("U", [(1,), (1,)])
+        sql = "SELECT A FROM T WHERE A IN (SELECT B FROM U)"
+        engine = Engine(catalog)
+        ni = engine.run(sql, method="nested_iteration")
+        tr = engine.run(sql, method="transform")
+        assert ni.result.rows == [(1,)]
+        assert Counter(tr.result.rows) == Counter([(1,), (1,)])  # inflated
+
+    def test_dedupe_inner_fixes_multiplicity(self):
+        catalog = fresh_catalog()
+        catalog.create_table(schema("T", "A"))
+        catalog.create_table(schema("U", "B"))
+        catalog.insert("T", [(1,), (2,)])
+        catalog.insert("U", [(1,), (1,), (3,)])
+        sql = "SELECT A FROM T WHERE A IN (SELECT B FROM U)"
+        engine = Engine(catalog, dedupe_inner=True)
+        ni = engine.run(sql, method="nested_iteration")
+        tr = engine.run(sql, method="transform")
+        assert Counter(tr.result.rows) == Counter(ni.result.rows)
+
+    def test_dedupe_inner_setup_shape(self):
+        block = parse("SELECT A FROM T WHERE A IN (SELECT B FROM U WHERE B > 0)")
+        temp, new_pred = dedupe_inner_setup(block.where, "NTEMP_1")
+        assert to_sql(temp.query) == (
+            "SELECT DISTINCT B AS C1 FROM U WHERE B > 0"
+        )
+        assert to_sql(new_pred) == "A IN (SELECT NTEMP_1.C1 AS C1 FROM NTEMP_1)"
+
+    def test_multi_level_type_n_with_dedupe(self):
+        """SP holds duplicate SNO values, so multiset equivalence needs
+        the inner-side dedup at both levels."""
+        catalog = load_supplier_parts()
+        assert_equivalent(
+            catalog,
+            """
+            SELECT SNAME FROM S WHERE SNO IN
+              (SELECT SNO FROM SP WHERE PNO IN
+                (SELECT PNO FROM P WHERE WEIGHT > 16))
+            """,
+            dedupe_inner=True,
+        )
+
+    def test_multi_level_type_n_paper_literal_is_set_equivalent(self):
+        catalog = load_supplier_parts()
+        engine = Engine(catalog)
+        sql = """
+            SELECT SNAME FROM S WHERE SNO IN
+              (SELECT SNO FROM SP WHERE PNO IN
+                (SELECT PNO FROM P WHERE WEIGHT > 16))
+        """
+        ni = engine.run(sql, method="nested_iteration")
+        tr = engine.run(sql, method="transform")
+        assert set(tr.result.rows) == set(ni.result.rows)

@@ -1,0 +1,171 @@
+"""Tests for the Engine pipeline and the public Database API."""
+
+from collections import Counter
+
+import pytest
+
+from repro import Database
+from repro.core.pipeline import Engine
+from repro.errors import CatalogError, ReproError, TransformError
+from repro.workloads.paper_data import (
+    KIESSLING_Q2,
+    load_kiessling_instance,
+)
+
+
+class TestEngineMethods:
+    def test_unknown_method_raises(self):
+        engine = Engine(load_kiessling_instance())
+        with pytest.raises(ReproError):
+            engine.run(KIESSLING_Q2, method="teleport")
+
+    def test_auto_uses_transformation_when_possible(self):
+        engine = Engine(load_kiessling_instance())
+        report = engine.run(KIESSLING_Q2, method="auto")
+        assert report.method == "transform"
+
+    def test_auto_falls_back_to_nested_iteration(self):
+        engine = Engine(load_kiessling_instance())
+        # Correlated NOT IN is outside the algorithms' reach.
+        report = engine.run(
+            "SELECT PNUM FROM PARTS WHERE PNUM NOT IN "
+            "(SELECT PNUM FROM SUPPLY WHERE SUPPLY.QUAN = PARTS.QOH)",
+            method="auto",
+        )
+        assert report.method == "nested_iteration"
+
+    def test_temp_tables_are_dropped_after_run(self):
+        catalog = load_kiessling_instance()
+        engine = Engine(catalog)
+        engine.run(KIESSLING_Q2, method="transform")
+        assert catalog.table_names() == ["PARTS", "SUPPLY"]
+
+    def test_temp_tables_dropped_even_on_failure(self):
+        catalog = load_kiessling_instance()
+        engine = Engine(catalog)
+        with pytest.raises(ReproError):
+            engine.run(
+                "SELECT PNUM FROM PARTS WHERE PNUM NOT IN "
+                "(SELECT PNUM FROM SUPPLY WHERE SUPPLY.QUAN = PARTS.QOH)",
+                method="transform",
+            )
+        assert catalog.table_names() == ["PARTS", "SUPPLY"]
+
+    def test_report_contents(self):
+        engine = Engine(load_kiessling_instance())
+        report = engine.run(KIESSLING_Q2, method="transform")
+        assert report.method == "transform"
+        assert report.join_method == "merge"
+        assert report.canonical_sql is not None
+        assert len(report.setup_sql) == 3
+        assert report.io.page_ios > 0
+        text = report.describe()
+        assert "canonical" in text
+        assert "page I/Os" in text
+
+    def test_explain(self):
+        engine = Engine(load_kiessling_instance())
+        text = engine.explain(KIESSLING_Q2)
+        assert "NEST-JA2" in text
+        assert "canonical query" in text
+        assert engine.catalog.table_names() == ["PARTS", "SUPPLY"]
+
+    def test_run_accepts_parsed_ast(self):
+        from repro.sql.parser import parse
+
+        engine = Engine(load_kiessling_instance())
+        report = engine.run(parse(KIESSLING_Q2), method="transform")
+        assert Counter(report.result.rows) == Counter([(10,), (8,)])
+
+    def test_alias_conflict_across_blocks_rejected(self):
+        engine = Engine(load_kiessling_instance())
+        with pytest.raises(TransformError):
+            engine.transform(
+                "SELECT PNUM FROM PARTS X WHERE QOH IN "
+                "(SELECT QUAN FROM SUPPLY X)"
+            )
+
+
+class TestDatabaseFacade:
+    def make_db(self):
+        db = Database(buffer_pages=8)
+        db.create_table("PARTS", ["PNUM", "QOH"], primary_key=["PNUM"])
+        db.create_table(
+            "SUPPLY", ["PNUM", "QUAN", ("SHIPDATE", "date")]
+        )
+        db.insert("PARTS", [(3, 6), (10, 1), (8, 0)])
+        db.insert(
+            "SUPPLY",
+            [
+                (3, 4, "1979-07-03"),
+                (3, 2, "1978-10-01"),
+                (10, 1, "1978-06-08"),
+                (10, 2, "1981-08-10"),
+                (8, 5, "1983-05-07"),
+            ],
+        )
+        return db
+
+    def test_quickstart_flow(self):
+        db = self.make_db()
+        result = db.query("SELECT PNUM FROM PARTS WHERE QOH > 0")
+        assert result.rows == [(3,), (10,)]
+
+    def test_names_fold_to_upper(self):
+        db = Database()
+        db.create_table("parts", ["pnum"])
+        db.insert("parts", [(1,)])
+        assert db.tables() == ["PARTS"]
+        assert db.query("select pnum from parts").rows == [(1,)]
+
+    def test_unknown_column_type_raises(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.create_table("T", [("A", "varchar2")])
+
+    def test_kiessling_q2_through_facade(self):
+        db = self.make_db()
+        assert Counter(db.query(KIESSLING_Q2).rows) == Counter([(10,), (8,)])
+
+    def test_run_reports_io(self):
+        db = self.make_db()
+        db.cold_cache()
+        db.reset_io_stats()
+        report = db.run(KIESSLING_Q2, method="nested_iteration")
+        assert report.io.page_reads > 0
+        assert db.io_stats().page_reads >= report.io.page_reads
+
+    def test_explain_via_facade(self):
+        db = self.make_db()
+        assert "NEST-JA2" in db.explain(KIESSLING_Q2)
+
+    def test_buggy_algorithm_selectable(self):
+        db = Database(ja_algorithm="kim")
+        db.create_table("PARTS", ["PNUM", "QOH"])
+        db.create_table("SUPPLY", ["PNUM", "QUAN", ("SHIPDATE", "date")])
+        db.insert("PARTS", [(3, 6), (10, 1), (8, 0)])
+        db.insert(
+            "SUPPLY",
+            [
+                (3, 4, "1979-07-03"),
+                (3, 2, "1978-10-01"),
+                (10, 1, "1978-06-08"),
+                (10, 2, "1981-08-10"),
+                (8, 5, "1983-05-07"),
+            ],
+        )
+        assert Counter(db.query(KIESSLING_Q2, method="transform").rows) == Counter(
+            [(10,)]
+        )
+
+    def test_drop_table(self):
+        db = Database()
+        db.create_table("T", ["A"])
+        db.drop_table("T")
+        assert db.tables() == []
+
+    def test_package_exports(self):
+        import repro
+
+        assert repro.__version__
+        assert repro.Database is Database

@@ -1,0 +1,191 @@
+"""Section 8 — EXISTS / NOT EXISTS / ANY / ALL rewrites.
+
+Includes the documented semantic caveats: the paper itself warns the
+ANY/ALL rewrites are "logically (but not necessarily semantically)
+equivalent", and we pin down exactly where they diverge.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.pipeline import Engine
+from repro.core.predicates import rewrite_extended_predicates
+from repro.errors import TransformError
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+from repro.workloads.paper_data import (
+    fresh_catalog,
+    load_kiessling_instance,
+    load_supplier_parts,
+)
+from repro.catalog.schema import schema
+
+from tests.core.helpers import assert_equivalent
+
+
+def rewrite(sql, **kwargs):
+    return to_sql(rewrite_extended_predicates(parse(sql), **kwargs))
+
+
+class TestRewriteShapes:
+    def test_exists_becomes_zero_less_than_count(self):
+        out = rewrite(
+            "SELECT A FROM T WHERE EXISTS (SELECT B FROM U WHERE U.B = T.A)"
+        )
+        assert out == (
+            "SELECT A FROM T WHERE 0 < "
+            "(SELECT COUNT(*) AS CNT FROM U WHERE U.B = T.A)"
+        )
+
+    def test_not_exists_becomes_zero_equals_count(self):
+        out = rewrite(
+            "SELECT A FROM T WHERE NOT EXISTS (SELECT B FROM U WHERE U.B = T.A)"
+        )
+        assert "0 = (SELECT COUNT(*) AS CNT" in out
+
+    def test_exists_paper_mode_counts_the_selected_column(self):
+        out = rewrite(
+            "SELECT A FROM T WHERE EXISTS (SELECT B FROM U)",
+            exists_count_mode="paper",
+        )
+        assert "COUNT(B)" in out
+
+    @pytest.mark.parametrize(
+        "op,quant,agg",
+        [
+            ("<", "ANY", "MAX"),
+            ("<=", "ANY", "MAX"),
+            (">", "ANY", "MIN"),
+            (">=", "ANY", "MIN"),
+            ("<", "ALL", "MIN"),
+            ("<=", "ALL", "MIN"),
+            (">", "ALL", "MAX"),
+            (">=", "ALL", "MAX"),
+        ],
+    )
+    def test_quantifier_table(self, op, quant, agg):
+        out = rewrite(f"SELECT A FROM T WHERE A {op} {quant} (SELECT B FROM U)")
+        assert f"A {op} (SELECT {agg}(B) AS AGG FROM U)" in out
+
+    def test_eq_any_is_already_in(self):
+        out = rewrite("SELECT A FROM T WHERE A = ANY (SELECT B FROM U)")
+        assert "IN (SELECT B FROM U)" in out
+
+    def test_neq_all_is_already_not_in(self):
+        out = rewrite("SELECT A FROM T WHERE A <> ALL (SELECT B FROM U)")
+        assert "NOT IN (SELECT B FROM U)" in out
+
+    def test_eq_all_has_no_transformation(self):
+        with pytest.raises(TransformError):
+            rewrite("SELECT A FROM T WHERE A = ALL (SELECT B FROM U)")
+
+    def test_rewrite_recurses_into_nested_blocks(self):
+        out = rewrite(
+            "SELECT A FROM T WHERE A IN "
+            "(SELECT B FROM U WHERE EXISTS (SELECT C FROM V WHERE V.C = U.B))"
+        )
+        assert "0 < (SELECT COUNT(*) AS CNT FROM V" in out
+
+    def test_archaic_negated_operators(self):
+        out = rewrite("SELECT A FROM T WHERE A !> ALL (SELECT B FROM U)")
+        # !> normalizes to <=; <= ALL → MIN.
+        assert "A <= (SELECT MIN(B) AS AGG FROM U)" in out
+
+
+class TestEndToEndEquivalence:
+    def test_correlated_exists(self):
+        assert_equivalent(
+            load_kiessling_instance(),
+            "SELECT PNUM FROM PARTS WHERE EXISTS "
+            "(SELECT PNUM FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM AND "
+            " SHIPDATE < '1980-01-01')",
+        )
+
+    def test_correlated_not_exists(self):
+        """NOT EXISTS relies on NEST-JA2's zero-count rows: without the
+        outer-join fix the 0 = COUNT predicate would match nothing."""
+        _, tr = assert_equivalent(
+            load_kiessling_instance(),
+            "SELECT PNUM FROM PARTS WHERE NOT EXISTS "
+            "(SELECT PNUM FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM AND "
+            " SHIPDATE < '1980-01-01')",
+        )
+        assert Counter(tr.result.rows) == Counter([(8,)])
+
+    def test_uncorrelated_exists(self):
+        assert_equivalent(
+            load_kiessling_instance(),
+            "SELECT PNUM FROM PARTS WHERE EXISTS "
+            "(SELECT QUAN FROM SUPPLY WHERE QUAN > 4)",
+        )
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">="])
+    @pytest.mark.parametrize("quant", ["ANY", "ALL"])
+    def test_correlated_quantifiers(self, op, quant):
+        assert_equivalent(
+            load_kiessling_instance(),
+            f"SELECT PNUM FROM PARTS WHERE QOH {op} {quant} "
+            "(SELECT QUAN FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)",
+        )
+
+    def test_exists_on_supplier_parts(self):
+        assert_equivalent(
+            load_supplier_parts(),
+            "SELECT SNAME FROM S WHERE EXISTS "
+            "(SELECT SNO FROM SP WHERE SP.SNO = S.SNO AND SP.QTY > 300)",
+        )
+
+
+class TestDocumentedDivergences:
+    """Where the paper's rewrites change semantics — asserted, not hidden."""
+
+    def setup_method(self):
+        self.catalog = fresh_catalog()
+        self.catalog.create_table(schema("T", "A"))
+        self.catalog.create_table(schema("U", "B"))
+
+    def test_all_over_empty_set_diverges(self):
+        """x < ALL (∅) is true; x < MIN(∅)=NULL is unknown."""
+        self.catalog.insert("T", [(1,)])
+        sql = "SELECT A FROM T WHERE A < ALL (SELECT B FROM U)"
+        engine = Engine(self.catalog)
+        ni = engine.run(sql, method="nested_iteration")
+        tr = engine.run(sql, method="transform")
+        assert ni.result.rows == [(1,)]  # vacuous truth
+        assert tr.result.rows == []      # NULL comparison: unknown
+
+    def test_any_over_empty_set_agrees(self):
+        """x < ANY (∅) is false; x < MAX(∅)=NULL is unknown — both
+        reject the tuple, so results agree even though the logic
+        values differ."""
+        self.catalog.insert("T", [(1,)])
+        sql = "SELECT A FROM T WHERE A < ANY (SELECT B FROM U)"
+        engine = Engine(self.catalog)
+        ni = engine.run(sql, method="nested_iteration")
+        tr = engine.run(sql, method="transform")
+        assert ni.result.rows == tr.result.rows == []
+
+    def test_null_in_inner_column_diverges_for_all(self):
+        """ALL over a set containing NULL is unknown; MIN ignores NULLs."""
+        self.catalog.insert("T", [(1,)])
+        self.catalog.insert("U", [(5,), (None,)])
+        sql = "SELECT A FROM T WHERE A < ALL (SELECT B FROM U)"
+        engine = Engine(self.catalog)
+        ni = engine.run(sql, method="nested_iteration")
+        tr = engine.run(sql, method="transform")
+        assert ni.result.rows == []      # 1 < NULL is unknown → reject
+        assert tr.result.rows == [(1,)]  # MIN ignores the NULL: 1 < 5
+
+    def test_exists_paper_mode_diverges_on_null_column(self):
+        """COUNT(B) ignores NULLs, so the paper-literal EXISTS rewrite
+        misses rows whose only matches have NULL in the column."""
+        self.catalog.insert("T", [(1,)])
+        self.catalog.insert("U", [(None,)])
+        sql = "SELECT A FROM T WHERE EXISTS (SELECT B FROM U)"
+        star = Engine(self.catalog, exists_count_mode="star")
+        paper = Engine(self.catalog, exists_count_mode="paper")
+        ni = star.run(sql, method="nested_iteration")
+        assert ni.result.rows == [(1,)]
+        assert star.run(sql, method="transform").result.rows == [(1,)]
+        assert paper.run(sql, method="transform").result.rows == []

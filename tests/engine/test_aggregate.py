@@ -1,0 +1,85 @@
+"""Unit tests for aggregate semantics (the COUNT-bug foundations)."""
+
+import pytest
+
+from repro.engine.aggregate import AggSpec, apply_specs, compute_aggregate
+from repro.errors import ExecutionError
+
+
+class TestComputeAggregate:
+    def test_count_of_empty_group_is_zero(self):
+        """The value Kim's temp table can never contain (section 5.1)."""
+        assert compute_aggregate("COUNT", []) == 0
+
+    @pytest.mark.parametrize("func", ["MAX", "MIN", "SUM", "AVG"])
+    def test_other_aggregates_of_empty_group_are_null(self, func):
+        """The paper's assumption MAX({}) = NULL (section 5.3)."""
+        assert compute_aggregate(func, []) is None
+
+    def test_count_ignores_nulls(self):
+        assert compute_aggregate("COUNT", [1, None, 2, None]) == 2
+
+    def test_count_of_all_nulls_is_zero(self):
+        assert compute_aggregate("COUNT", [None, None]) == 0
+
+    def test_min_max(self):
+        assert compute_aggregate("MIN", [3, 1, 2]) == 1
+        assert compute_aggregate("MAX", [3, 1, 2]) == 3
+
+    def test_min_max_ignore_nulls(self):
+        assert compute_aggregate("MAX", [None, 5, None, 2]) == 5
+
+    def test_min_max_on_strings(self):
+        dates = ["1979-07-03", "1978-10-01", "1981-08-10"]
+        assert compute_aggregate("MIN", dates) == "1978-10-01"
+        assert compute_aggregate("MAX", dates) == "1981-08-10"
+
+    def test_sum_avg(self):
+        assert compute_aggregate("SUM", [1, 2, 3]) == 6
+        assert compute_aggregate("AVG", [1, 2, 3]) == 2.0
+
+    def test_sum_ignores_nulls(self):
+        assert compute_aggregate("SUM", [1, None, 3]) == 4
+        assert compute_aggregate("AVG", [1, None, 3]) == 2.0
+
+    def test_sum_of_strings_raises(self):
+        with pytest.raises(ExecutionError):
+            compute_aggregate("SUM", ["a"])
+
+    def test_distinct_count(self):
+        assert compute_aggregate("COUNT", [1, 1, 2, None], distinct=True) == 2
+
+    def test_distinct_sum(self):
+        assert compute_aggregate("SUM", [1, 1, 2], distinct=True) == 3
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(ExecutionError):
+            compute_aggregate("MEDIAN", [1])
+
+
+class TestAggSpec:
+    def test_count_star_spec(self):
+        spec = AggSpec("COUNT", None)
+        assert apply_specs([(None,), (None,)], [spec]) == [2]
+
+    def test_star_only_valid_for_count(self):
+        with pytest.raises(ExecutionError):
+            AggSpec("MAX", None)
+
+    def test_unknown_func_rejected(self):
+        with pytest.raises(ExecutionError):
+            AggSpec("FOO", 0)
+
+    def test_column_specs(self):
+        rows = [(1, 10), (2, None), (3, 30)]
+        specs = [
+            AggSpec("COUNT", 1),
+            AggSpec("SUM", 1),
+            AggSpec("MAX", 0),
+            AggSpec("COUNT", None),
+        ]
+        assert apply_specs(rows, specs) == [2, 40, 3, 3]
+
+    def test_empty_group(self):
+        specs = [AggSpec("COUNT", 0), AggSpec("MAX", 0), AggSpec("COUNT", None)]
+        assert apply_specs([], specs) == [0, None, 0]

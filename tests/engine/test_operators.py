@@ -1,0 +1,337 @@
+"""Tests for physical operators: scans, restrict/project, joins, grouping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.aggregate import AggSpec
+from repro.engine.operators import (
+    group_aggregate,
+    merge_join,
+    nested_loop_join,
+    project_columns,
+    restrict_project,
+    scan_table,
+)
+from repro.engine.relation import Relation
+from repro.engine.schema import RowSchema
+from repro.engine.sort import external_sort
+from repro.errors import ExecutionError
+from repro.sql.parser import parse_expression
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.workloads.paper_data import load_kiessling_instance
+
+
+def make_env(buffer_pages=8):
+    disk = DiskManager()
+    return disk, BufferPool(disk, capacity=buffer_pages)
+
+
+def rel(buffer, qualifier, columns, rows, rows_per_page=4):
+    schema = RowSchema([(qualifier, c) for c in columns])
+    return Relation.materialize(schema, rows, buffer, rows_per_page=rows_per_page)
+
+
+class TestScanTable:
+    def test_scan_reads_table_with_binding(self):
+        catalog = load_kiessling_instance()
+        relation = scan_table(catalog.get("PARTS"))
+        assert relation.schema.qualified_names() == ["PARTS.PNUM", "PARTS.QOH"]
+        assert relation.to_list() == [(3, 6), (10, 1), (8, 0)]
+
+    def test_scan_with_alias_binding(self):
+        catalog = load_kiessling_instance()
+        relation = scan_table(catalog.get("PARTS"), binding="X")
+        assert relation.schema.qualified_names() == ["X.PNUM", "X.QOH"]
+
+
+class TestRestrictProject:
+    def test_identity(self):
+        _, buffer = make_env()
+        source = rel(buffer, "T", ["A"], [(1,), (2,)])
+        out = restrict_project(source, buffer)
+        assert out.to_list() == [(1,), (2,)]
+        assert out.schema == source.schema
+
+    def test_restriction(self):
+        _, buffer = make_env()
+        source = rel(buffer, "SUPPLY", ["PNUM", "SHIPDATE"],
+                     [(3, "1979-07-03"), (10, "1981-08-10")])
+        predicate = parse_expression("SHIPDATE < '1980-01-01'")
+        out = restrict_project(source, buffer, predicate=predicate)
+        assert out.to_list() == [(3, "1979-07-03")]
+
+    def test_projection_renames(self):
+        _, buffer = make_env()
+        source = rel(buffer, "SUPPLY", ["PNUM", "QUAN"], [(3, 4), (10, 1)])
+        projections = [(parse_expression("SUPPLY.PNUM"), "TEMP2", "PNUM")]
+        out = restrict_project(source, buffer, projections=projections, name="TEMP2")
+        assert out.schema.qualified_names() == ["TEMP2.PNUM"]
+        assert out.to_list() == [(3,), (10,)]
+
+    def test_unknown_predicate_value_rejects_row(self):
+        _, buffer = make_env()
+        source = rel(buffer, "T", ["A"], [(None,), (1,)])
+        out = restrict_project(source, buffer, predicate=parse_expression("A = 1"))
+        assert out.to_list() == [(1,)]
+
+    def test_output_is_heap_backed(self):
+        disk, buffer = make_env()
+        source = rel(buffer, "T", ["A"], [(i,) for i in range(20)])
+        disk.reset_stats()
+        out = restrict_project(source, buffer)
+        assert out.is_heap_backed
+        assert disk.stats().page_writes >= out.num_pages
+
+
+class TestNestedLoopJoin:
+    def test_inner_join(self):
+        _, buffer = make_env()
+        left = rel(buffer, "L", ["A"], [(1,), (2,)])
+        right = rel(buffer, "R", ["B"], [(2,), (3,)])
+        predicate = parse_expression("L.A = R.B")
+        out = nested_loop_join(left, right, buffer, predicate=predicate)
+        assert out.to_list() == [(2, 2)]
+        assert out.schema.qualified_names() == ["L.A", "R.B"]
+
+    def test_cross_product_without_predicate(self):
+        _, buffer = make_env()
+        left = rel(buffer, "L", ["A"], [(1,), (2,)])
+        right = rel(buffer, "R", ["B"], [(7,), (8,)])
+        out = nested_loop_join(left, right, buffer)
+        assert sorted(out.to_list()) == [(1, 7), (1, 8), (2, 7), (2, 8)]
+
+    def test_left_outer(self):
+        _, buffer = make_env()
+        left = rel(buffer, "L", ["A"], [(1,), (2,)])
+        right = rel(buffer, "R", ["B"], [(2,)])
+        predicate = parse_expression("L.A = R.B")
+        out = nested_loop_join(left, right, buffer, predicate=predicate, mode="left")
+        assert sorted(out.to_list(), key=str) == [(1, None), (2, 2)]
+
+    def test_small_inner_rescans_hit_buffer(self):
+        disk, buffer = make_env(buffer_pages=8)
+        left = rel(buffer, "L", ["A"], [(i,) for i in range(40)], rows_per_page=4)
+        right = rel(buffer, "R", ["B"], [(1,), (2,)], rows_per_page=4)  # 1 page
+        buffer.evict_all()
+        disk.reset_stats()
+        nested_loop_join(left, right, buffer, predicate=parse_expression("L.A = R.B"))
+        stats = disk.stats()
+        # Right (1 page) is read once and then hit in the buffer;
+        # total reads ≈ left pages + right pages.
+        assert stats.page_reads <= left.num_pages + right.num_pages + 1
+
+    def test_large_inner_rescans_cost_per_outer_tuple(self):
+        disk, buffer = make_env(buffer_pages=2)
+        left = rel(buffer, "L", ["A"], [(i,) for i in range(10)], rows_per_page=1)
+        right = rel(buffer, "R", ["B"], [(i,) for i in range(12)], rows_per_page=1)
+        buffer.evict_all()
+        disk.reset_stats()
+        nested_loop_join(left, right, buffer, predicate=parse_expression("L.A = R.B"))
+        # 10 outer tuples × 12 inner pages: far beyond one read of each.
+        assert disk.stats().page_reads >= 10 * 12
+
+
+class TestMergeJoin:
+    def sorted_rel(self, buffer, qualifier, columns, rows, key=(0,)):
+        source = rel(buffer, qualifier, columns, rows)
+        return external_sort(source, list(key), buffer)
+
+    def test_equi_join(self):
+        _, buffer = make_env()
+        left = self.sorted_rel(buffer, "L", ["A"], [(3,), (1,), (2,)])
+        right = self.sorted_rel(buffer, "R", ["B"], [(2,), (4,), (2,)])
+        out = merge_join(left, right, buffer, [0], [0])
+        assert out.to_list() == [(2, 2), (2, 2)]
+
+    def test_equi_join_agrees_with_nested_loop(self):
+        _, buffer = make_env()
+        lrows = [(i % 5, i) for i in range(17)]
+        rrows = [(i % 4, -i) for i in range(13)]
+        left = self.sorted_rel(buffer, "L", ["K", "V"], lrows)
+        right = self.sorted_rel(buffer, "R", ["K", "W"], rrows)
+        merged = merge_join(left, right, buffer, [0], [0])
+        loop = nested_loop_join(
+            rel(buffer, "L", ["K", "V"], lrows),
+            rel(buffer, "R", ["K", "W"], rrows),
+            buffer,
+            predicate=parse_expression("L.K = R.K"),
+        )
+        assert sorted(merged.to_list()) == sorted(loop.to_list())
+
+    def test_multi_column_key(self):
+        _, buffer = make_env()
+        left = self.sorted_rel(
+            buffer, "L", ["A", "B"], [(1, 1), (1, 2), (2, 1)], key=(0, 1)
+        )
+        right = self.sorted_rel(
+            buffer, "R", ["A", "B"], [(1, 2), (2, 2)], key=(0, 1)
+        )
+        out = merge_join(left, right, buffer, [0, 1], [0, 1])
+        assert out.to_list() == [(1, 2, 1, 2)]
+
+    def test_left_outer_pads_with_nulls(self):
+        """Section 5.2's example: R(X) ⟕ S(Y)."""
+        _, buffer = make_env()
+        left = self.sorted_rel(buffer, "R", ["X"], [("A",), ("B",)])
+        right = self.sorted_rel(buffer, "S", ["Y"], [("B",), ("C",), ("E",)])
+        out = merge_join(left, right, buffer, [0], [0], mode="left")
+        assert out.to_list() == [("A", None), ("B", "B")]
+
+    def test_null_keys_never_match(self):
+        _, buffer = make_env()
+        left = self.sorted_rel(buffer, "L", ["A"], [(None,), (1,)])
+        right = self.sorted_rel(buffer, "R", ["B"], [(None,), (1,)])
+        inner = merge_join(left, right, buffer, [0], [0])
+        assert inner.to_list() == [(1, 1)]
+        outer = merge_join(left, right, buffer, [0], [0], mode="left")
+        assert outer.to_list() == [(None, None), (1, 1)]
+
+    def test_theta_join_less_than(self):
+        """Inner < outer, the section 5.3 predicate direction."""
+        _, buffer = make_env()
+        outer = self.sorted_rel(buffer, "PARTS", ["PNUM"], [(3,), (8,), (10,)])
+        inner = self.sorted_rel(buffer, "SUPPLY", ["PNUM", "QUAN"],
+                                [(3, 4), (3, 2), (9, 5), (10, 1)])
+        # SUPPLY.PNUM < PARTS.PNUM  →  right rows with key < probe.
+        out = merge_join(outer, inner, buffer, [0], [0], op="<")
+        assert sorted(out.to_list()) == [
+            (8, 3, 2), (8, 3, 4),
+            (10, 3, 2), (10, 3, 4), (10, 9, 5),
+        ]
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "<>"])
+    def test_theta_join_agrees_with_nested_loop(self, op):
+        _, buffer = make_env()
+        lrows = [(i,) for i in range(6)]
+        rrows = [(i % 4, i) for i in range(9)]
+        left = self.sorted_rel(buffer, "L", ["K"], lrows)
+        right = self.sorted_rel(buffer, "R", ["K", "V"], rrows)
+        theta = merge_join(left, right, buffer, [0], [0], op=op)
+        loop = nested_loop_join(
+            rel(buffer, "L", ["K"], lrows),
+            rel(buffer, "R", ["K", "V"], rrows),
+            buffer,
+            predicate=parse_expression(f"R.K {op} L.K"),
+        )
+        assert sorted(theta.to_list()) == sorted(loop.to_list())
+
+    def test_theta_left_outer(self):
+        _, buffer = make_env()
+        left = self.sorted_rel(buffer, "L", ["K"], [(0,), (5,)])
+        right = self.sorted_rel(buffer, "R", ["K"], [(2,), (3,)])
+        out = merge_join(left, right, buffer, [0], [0], op="<", mode="left")
+        assert sorted(out.to_list(), key=str) == [(0, None), (5, 2), (5, 3)]
+
+    def test_theta_multi_column_rejected(self):
+        _, buffer = make_env()
+        left = self.sorted_rel(buffer, "L", ["A", "B"], [(1, 1)])
+        right = self.sorted_rel(buffer, "R", ["A", "B"], [(1, 1)])
+        with pytest.raises(ExecutionError):
+            merge_join(left, right, buffer, [0, 1], [0, 1], op="<")
+
+
+class TestGroupAggregate:
+    def test_grouped_count(self):
+        _, buffer = make_env()
+        source = rel(buffer, "T", ["K", "V"],
+                     [(1, 10), (1, None), (2, 30)])
+        out = group_aggregate(
+            source, buffer, [0],
+            [AggSpec("COUNT", 1)],
+            [("G", "K"), ("G", "CT")],
+        )
+        assert out.to_list() == [(1, 1), (2, 1)]
+
+    def test_group_with_count_star(self):
+        _, buffer = make_env()
+        source = rel(buffer, "T", ["K", "V"], [(1, 10), (1, None), (2, 30)])
+        out = group_aggregate(
+            source, buffer, [0],
+            [AggSpec("COUNT", None)],
+            [("G", "K"), ("G", "CT")],
+        )
+        assert out.to_list() == [(1, 2), (2, 1)]
+
+    def test_multiple_aggregates(self):
+        _, buffer = make_env()
+        source = rel(buffer, "T", ["K", "V"], [(1, 5), (1, 7), (2, 2)])
+        out = group_aggregate(
+            source, buffer, [0],
+            [AggSpec("MAX", 1), AggSpec("SUM", 1)],
+            [("G", "K"), ("G", "MX"), ("G", "SM")],
+        )
+        assert out.to_list() == [(1, 7, 12), (2, 2, 2)]
+
+    def test_requires_sorted_input_groups_adjacent(self):
+        # Input must be key-sorted; adjacent grouping is what we verify.
+        _, buffer = make_env()
+        source = rel(buffer, "T", ["K"], [(1,), (2,), (1,)])
+        out = group_aggregate(
+            source, buffer, [0],
+            [AggSpec("COUNT", None)],
+            [("G", "K"), ("G", "CT")],
+        )
+        # The unsorted duplicate key produces two groups — callers sort first.
+        assert out.to_list() == [(1, 1), (2, 1), (1, 1)]
+
+    def test_ungrouped_aggregate_over_empty_input(self):
+        _, buffer = make_env()
+        source = rel(buffer, "T", ["V"], [])
+        silent = group_aggregate(
+            source, buffer, [], [AggSpec("COUNT", 0)], [("G", "CT")]
+        )
+        assert silent.to_list() == []
+        emitted = group_aggregate(
+            source, buffer, [], [AggSpec("COUNT", 0)], [("G", "CT")],
+            always_emit=True,
+        )
+        assert emitted.to_list() == [(0,)]
+
+    def test_wrong_output_arity_raises(self):
+        _, buffer = make_env()
+        source = rel(buffer, "T", ["K"], [(1,)])
+        with pytest.raises(ExecutionError):
+            group_aggregate(source, buffer, [0], [AggSpec("COUNT", None)],
+                            [("G", "K")])
+
+    def test_group_key_with_nulls_forms_groups(self):
+        _, buffer = make_env()
+        source = rel(buffer, "T", ["K", "V"], [(None, 1), (None, 2), (1, 3)])
+        out = group_aggregate(
+            source, buffer, [0],
+            [AggSpec("COUNT", 1)],
+            [("G", "K"), ("G", "CT")],
+        )
+        assert out.to_list() == [(None, 2), (1, 1)]
+
+
+class TestProjectColumns:
+    def test_positional_projection(self):
+        _, buffer = make_env()
+        source = rel(buffer, "T", ["A", "B", "C"], [(1, 2, 3)])
+        out = project_columns(source, buffer, [2, 0], [(None, "C"), (None, "A")])
+        assert out.to_list() == [(3, 1)]
+        assert out.schema.qualified_names() == ["C", "A"]
+
+
+class TestJoinEquivalenceProperty:
+    @given(
+        lrows=st.lists(st.integers(0, 6), max_size=25),
+        rrows=st.lists(st.integers(0, 6), max_size=25),
+        mode=st.sampled_from(["inner", "left"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_nested_loop(self, lrows, rrows, mode):
+        _, buffer = make_env()
+        left_rel = rel(buffer, "L", ["K"], [(v,) for v in lrows])
+        right_rel = rel(buffer, "R", ["K"], [(v,) for v in rrows])
+        left_sorted = external_sort(left_rel, [0], buffer)
+        right_sorted = external_sort(right_rel, [0], buffer)
+        merged = merge_join(left_sorted, right_sorted, buffer, [0], [0], mode=mode)
+        loop = nested_loop_join(
+            left_rel, right_rel, buffer,
+            predicate=parse_expression("L.K = R.K"), mode=mode,
+        )
+        assert sorted(merged.to_list(), key=str) == sorted(loop.to_list(), key=str)

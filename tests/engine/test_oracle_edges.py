@@ -1,0 +1,151 @@
+"""Edge-case tests for the nested-iteration oracle.
+
+The transformation tests trust the oracle, so its own corners need
+direct coverage: subqueries inside HAVING, name shadowing across three
+levels, arithmetic projections, IN-lists, NULL propagation through
+correlation, and SELECT-clause aggregation subtleties.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.catalog.schema import schema
+from repro.engine.nested_iteration import NestedIterationExecutor
+from repro.errors import ExecutionError
+from repro.sql.parser import parse
+from repro.workloads.paper_data import fresh_catalog, load_kiessling_instance
+
+
+def run(catalog, sql):
+    return NestedIterationExecutor(catalog).execute(parse(sql))
+
+
+class TestShadowing:
+    def test_innermost_binding_wins(self):
+        catalog = fresh_catalog()
+        catalog.create_table(schema("T", "A"))
+        catalog.create_table(schema("U", "A"))
+        catalog.insert("T", [(1,)])
+        catalog.insert("U", [(2,)])
+        # The inner block's unqualified A resolves to U.A, not T.A.
+        result = run(
+            catalog, "SELECT A FROM T WHERE A < (SELECT MAX(A) FROM U)"
+        )
+        assert result.rows == [(1,)]
+
+    def test_three_level_correlation_to_grandparent(self):
+        catalog = fresh_catalog()
+        catalog.create_table(schema("L1", "X"))
+        catalog.create_table(schema("L2", "Y"))
+        catalog.create_table(schema("L3", "Z"))
+        catalog.insert("L1", [(1,), (2,)])
+        catalog.insert("L2", [(10,), (20,)])
+        catalog.insert("L3", [(1,), (3,)])
+        result = run(
+            catalog,
+            """
+            SELECT X FROM L1 WHERE X IN
+              (SELECT L3.Z FROM L3 WHERE 0 <
+                (SELECT COUNT(*) FROM L2 WHERE L3.Z = L1.X))
+            """,
+        )
+        assert result.rows == [(1,)]
+
+
+class TestProjectionForms:
+    def test_arithmetic_projection(self):
+        catalog = load_kiessling_instance()
+        result = run(catalog, "SELECT PNUM * 2 + 1 FROM PARTS")
+        assert result.rows == [(7,), (21,), (17,)]
+
+    def test_scalar_subquery_in_select_clause(self):
+        catalog = load_kiessling_instance()
+        # The paper only treats WHERE-clause nesting, but the oracle's
+        # expression evaluator handles a SELECT-clause scalar subquery
+        # uniformly (it is evaluated once, being uncorrelated).
+        result = run(
+            catalog,
+            "SELECT (SELECT MAX(QUAN) FROM SUPPLY) FROM PARTS",
+        )
+        assert result.rows == [(5,), (5,), (5,)]
+
+    def test_mixed_star_and_column(self):
+        catalog = load_kiessling_instance()
+        result = run(catalog, "SELECT QOH, * FROM PARTS")
+        assert result.rows[0] == (6, 3, 6)
+
+
+class TestHavingEdges:
+    def test_having_with_subquery(self):
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog,
+            "SELECT PNUM FROM SUPPLY GROUP BY PNUM "
+            "HAVING COUNT(*) = (SELECT MAX(QOH) FROM PARTS WHERE QOH < 3)",
+        )
+        # MAX(QOH < 3) = 1; groups with exactly 1 shipment: part 8.
+        assert result.rows == [(8,)]
+
+    def test_having_without_group_by(self):
+        catalog = load_kiessling_instance()
+        kept = run(catalog, "SELECT COUNT(*) FROM SUPPLY HAVING COUNT(*) > 1")
+        assert kept.rows == [(5,)]
+        dropped = run(
+            catalog, "SELECT COUNT(*) FROM SUPPLY HAVING COUNT(*) > 99"
+        )
+        assert dropped.rows == []
+
+    def test_group_by_expression_key(self):
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog,
+            "SELECT COUNT(*) FROM SUPPLY GROUP BY QUAN * 0",
+        )
+        assert result.rows == [(5,)]
+
+
+class TestNullPropagation:
+    def test_null_join_value_never_correlates(self):
+        catalog = fresh_catalog()
+        catalog.create_table(schema("T", "K", "V"))
+        catalog.create_table(schema("U", "K", "W"))
+        catalog.insert("T", [(None, 0), (1, 1)])
+        catalog.insert("U", [(1, 5), (None, 7)])
+        result = run(
+            catalog,
+            "SELECT V FROM T WHERE V = "
+            "(SELECT COUNT(W) FROM U WHERE U.K = T.K)",
+        )
+        # T(NULL, 0): no U row matches NULL → COUNT = 0 → 0 = 0 ✓.
+        # T(1, 1): one match → COUNT = 1 → 1 = 1 ✓.
+        assert Counter(result.rows) == Counter([(0,), (1,)])
+
+    def test_in_list_with_nulls(self):
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog, "SELECT PNUM FROM PARTS WHERE QOH IN (6, NULL)"
+        )
+        assert result.rows == [(3,)]
+
+    def test_comparison_against_null_rejects_everywhere(self):
+        catalog = load_kiessling_instance()
+        result = run(catalog, "SELECT PNUM FROM PARTS WHERE QOH > NULL")
+        assert result.rows == []
+
+
+class TestOutputNaming:
+    def test_aliases_propagate(self):
+        catalog = load_kiessling_instance()
+        result = run(catalog, "SELECT PNUM AS ID, QOH STOCK FROM PARTS")
+        assert result.columns == ["ID", "STOCK"]
+
+    def test_aggregate_names_are_sql(self):
+        catalog = load_kiessling_instance()
+        result = run(catalog, "SELECT COUNT(*), MAX(QOH) FROM PARTS")
+        assert result.columns == ["COUNT(*)", "MAX(QOH)"]
+
+    def test_star_names_expand(self):
+        catalog = load_kiessling_instance()
+        result = run(catalog, "SELECT * FROM PARTS")
+        assert result.columns == ["PNUM", "QOH"]

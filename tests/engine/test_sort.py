@@ -1,0 +1,150 @@
+"""Tests for the (B-1)-way external merge sort, incl. I/O accounting."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.relation import Relation
+from repro.engine.schema import RowSchema
+from repro.engine.sort import external_sort, sort_cost_model, sort_key
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+def make_env(buffer_pages=4):
+    disk = DiskManager()
+    return disk, BufferPool(disk, capacity=buffer_pages)
+
+
+def heap_relation(rows, buffer, rows_per_page=4, ncols=1):
+    schema = RowSchema([(None, f"C{i}") for i in range(ncols)])
+    return Relation.materialize(schema, rows, buffer, rows_per_page=rows_per_page)
+
+
+class TestSortKey:
+    def test_orders_by_key_columns_first(self):
+        rows = [(2, "b"), (1, "z"), (2, "a")]
+        ordered = sorted(rows, key=lambda r: sort_key(r, [0]))
+        assert ordered == [(1, "z"), (2, "a"), (2, "b")]
+
+    def test_null_sorts_first(self):
+        rows = [(1,), (None,), (0,)]
+        ordered = sorted(rows, key=lambda r: sort_key(r, [0]))
+        assert ordered == [(None,), (0,), (1,)]
+
+    def test_mixed_int_float(self):
+        rows = [(1.5,), (1,), (2,)]
+        ordered = sorted(rows, key=lambda r: sort_key(r, [0]))
+        assert ordered == [(1,), (1.5,), (2,)]
+
+
+class TestExternalSort:
+    def test_empty_input(self):
+        _, buffer = make_env()
+        source = heap_relation([], buffer)
+        result = external_sort(source, [0], buffer)
+        assert result.to_list() == []
+        assert result.num_pages == 0
+
+    def test_single_page(self):
+        _, buffer = make_env()
+        source = heap_relation([(3,), (1,), (2,)], buffer)
+        result = external_sort(source, [0], buffer)
+        assert result.to_list() == [(1,), (2,), (3,)]
+
+    def test_multi_run_merge(self):
+        _, buffer = make_env(buffer_pages=2)
+        values = list(range(100))
+        random.Random(7).shuffle(values)
+        source = heap_relation([(v,) for v in values], buffer, rows_per_page=3)
+        result = external_sort(source, [0], buffer)
+        assert result.to_list() == [(v,) for v in range(100)]
+
+    def test_unique_removes_duplicate_rows(self):
+        _, buffer = make_env()
+        source = heap_relation([(2,), (1,), (2,), (1,), (1,)], buffer)
+        result = external_sort(source, [0], buffer, unique=True)
+        assert result.to_list() == [(1,), (2,)]
+
+    def test_unique_keeps_distinct_rows_with_equal_keys(self):
+        _, buffer = make_env()
+        schema_rows = [(1, "a"), (1, "b"), (1, "a")]
+        source = heap_relation(schema_rows, buffer, ncols=2)
+        result = external_sort(source, [0], buffer, unique=True)
+        assert result.to_list() == [(1, "a"), (1, "b")]
+
+    def test_sort_on_second_column(self):
+        _, buffer = make_env()
+        source = heap_relation([(1, 9), (2, 3), (3, 5)], buffer, ncols=2)
+        result = external_sort(source, [1], buffer)
+        assert [r[1] for r in result.to_list()] == [3, 5, 9]
+
+    def test_sorts_in_memory_source(self):
+        _, buffer = make_env()
+        schema = RowSchema([(None, "A")])
+        source = Relation.from_rows(schema, [(3,), (1,)])
+        result = external_sort(source, [0], buffer)
+        assert result.to_list() == [(1,), (3,)]
+        assert result.is_heap_backed
+
+    def test_io_within_model_bound(self):
+        """Measured sort I/O stays within the 2·P·(passes+1) envelope."""
+        disk, buffer = make_env(buffer_pages=3)
+        values = list(range(240))
+        random.Random(3).shuffle(values)
+        source = heap_relation([(v,) for v in values], buffer, rows_per_page=4)
+        pages = source.num_pages  # 60
+        buffer.evict_all()
+        disk.reset_stats()
+
+        external_sort(source, [0], buffer)
+
+        runs0 = math.ceil(pages / buffer.capacity)
+        passes = math.ceil(math.log(runs0, buffer.capacity - 1)) if runs0 > 1 else 0
+        budget = 2 * pages * (passes + 1) + 2 * pages  # generous slack
+        stats = disk.stats()
+        assert stats.page_ios <= budget
+        # And it is at least one full read+write of the input.
+        assert stats.page_reads >= pages
+        assert stats.page_writes >= pages
+
+    def test_cost_model_matches_paper_formula(self):
+        # 2 * P * log_{B-1}(P), continuous log.
+        assert sort_cost_model(50, 6) == pytest.approx(
+            2 * 50 * math.log(50, 5)
+        )
+        assert sort_cost_model(1, 6) == 0.0
+        assert sort_cost_model(0, 6) == 0.0
+
+
+class TestSortProperties:
+    @given(
+        values=st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(-3, 3)), max_size=120
+        ),
+        buffer_pages=st.integers(min_value=2, max_value=5),
+        rows_per_page=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_and_permutation(self, values, buffer_pages, rows_per_page):
+        disk, buffer = make_env(buffer_pages)
+        schema = RowSchema([(None, "A"), (None, "B")])
+        source = Relation.materialize(
+            schema, values, buffer, rows_per_page=rows_per_page
+        )
+        result = external_sort(source, [0], buffer).to_list()
+        assert sorted(values, key=lambda r: sort_key(r, [0])) == result
+
+    @given(
+        values=st.lists(st.integers(0, 9), max_size=80),
+        buffer_pages=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unique_equals_set(self, values, buffer_pages):
+        disk, buffer = make_env(buffer_pages)
+        source = heap_relation([(v,) for v in values], buffer, rows_per_page=2)
+        result = external_sort(source, [0], buffer, unique=True).to_list()
+        assert result == [(v,) for v in sorted(set(values))]

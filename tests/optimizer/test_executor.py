@@ -1,0 +1,215 @@
+"""Tests for the single-level physical executor."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import PlanError
+from repro.optimizer.executor import SingleLevelExecutor
+from repro.sql.parser import parse
+from repro.workloads.paper_data import (
+    load_duplicates_instance,
+    load_kiessling_instance,
+    load_supplier_parts,
+)
+
+
+def run(catalog, sql, join_method="merge"):
+    executor = SingleLevelExecutor(catalog, join_method=join_method)
+    return executor.execute(parse(sql))
+
+
+@pytest.fixture(params=["merge", "nested"])
+def join_method(request):
+    return request.param
+
+
+class TestScanAndFilter:
+    def test_projection(self, join_method):
+        catalog = load_kiessling_instance()
+        result = run(catalog, "SELECT PNUM FROM PARTS", join_method)
+        assert result.to_list() == [(3,), (10,), (8,)]
+
+    def test_restriction(self, join_method):
+        catalog = load_kiessling_instance()
+        result = run(catalog, "SELECT PNUM FROM PARTS WHERE QOH > 0", join_method)
+        assert result.to_list() == [(3,), (10,)]
+
+    def test_distinct(self, join_method):
+        catalog = load_duplicates_instance()
+        result = run(catalog, "SELECT DISTINCT PNUM FROM PARTS", join_method)
+        assert result.to_list() == [(3,), (8,), (10,)]
+
+    def test_output_names_respect_aliases(self):
+        catalog = load_kiessling_instance()
+        executor = SingleLevelExecutor(catalog)
+        block = parse("SELECT PNUM AS SUPPNUM, COUNT(QUAN) AS CT FROM SUPPLY GROUP BY PNUM")
+        assert executor.output_names(block) == ["SUPPNUM", "CT"]
+
+    def test_rejects_nested_queries(self):
+        catalog = load_kiessling_instance()
+        with pytest.raises(PlanError):
+            run(catalog, "SELECT PNUM FROM PARTS WHERE PNUM IN (SELECT PNUM FROM SUPPLY)")
+
+
+class TestJoins:
+    def test_equi_join_both_methods_agree(self, join_method):
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog,
+            "SELECT PARTS.PNUM, SUPPLY.QUAN FROM PARTS, SUPPLY "
+            "WHERE PARTS.PNUM = SUPPLY.PNUM AND SHIPDATE < '1980-01-01'",
+            join_method,
+        )
+        assert Counter(result.to_list()) == Counter([(3, 4), (3, 2), (10, 1)])
+
+    def test_theta_join(self, join_method):
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog,
+            "SELECT PARTS.PNUM, SUPPLY.PNUM FROM PARTS, SUPPLY "
+            "WHERE SUPPLY.PNUM < PARTS.PNUM",
+            join_method,
+        )
+        expected = Counter(
+            [(10, 3), (10, 3), (10, 8), (8, 3), (8, 3)]
+        )
+        assert Counter(result.to_list()) == expected
+
+    def test_left_outer_join(self, join_method):
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog,
+            "SELECT PARTS.PNUM, SUPPLY.QUAN FROM PARTS, SUPPLY "
+            "WHERE PARTS.PNUM =+ SUPPLY.PNUM AND SHIPDATE < '1980-01-01'",
+            join_method,
+        )
+        # Part 8 has no pre-1980 shipments: padded with NULL.
+        assert Counter(result.to_list()) == Counter(
+            [(3, 4), (3, 2), (10, 1), (8, None)]
+        )
+
+    def test_simple_predicates_applied_before_outer_join(self, join_method):
+        """Section 5.2's ordering requirement: restricting SUPPLY by
+        SHIPDATE *after* the outer join would lose the (8, NULL) row."""
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog,
+            "SELECT PARTS.PNUM, SUPPLY.QUAN FROM PARTS, SUPPLY "
+            "WHERE PARTS.PNUM =+ SUPPLY.PNUM AND SHIPDATE < '1980-01-01'",
+            join_method,
+        )
+        assert (8, None) in result.to_list()
+
+    def test_three_table_join(self, join_method):
+        catalog = load_supplier_parts()
+        result = run(
+            catalog,
+            "SELECT S.SNAME, P.PNAME FROM S, SP, P "
+            "WHERE S.SNO = SP.SNO AND SP.PNO = P.PNO AND P.WEIGHT > 18",
+            join_method,
+        )
+        assert Counter(result.to_list()) == Counter([("Smith", "Cog")])
+
+    def test_cross_product(self, join_method):
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog,
+            "SELECT PARTS.PNUM, X.PNUM FROM PARTS, PARTS X",
+            join_method,
+        )
+        assert len(result.to_list()) == 9
+
+
+class TestGrouping:
+    def test_group_by_count(self, join_method):
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog,
+            "SELECT PNUM, COUNT(SHIPDATE) FROM SUPPLY "
+            "WHERE SHIPDATE < '1980-01-01' GROUP BY PNUM",
+            join_method,
+        )
+        assert Counter(result.to_list()) == Counter([(3, 2), (10, 1)])
+
+    def test_group_by_join_column_after_merge_join_skips_sort(self):
+        catalog = load_kiessling_instance()
+        executor = SingleLevelExecutor(catalog, join_method="merge")
+        result = executor.execute(
+            parse(
+                "SELECT PARTS.PNUM, COUNT(SUPPLY.SHIPDATE) FROM PARTS, SUPPLY "
+                "WHERE PARTS.PNUM = SUPPLY.PNUM GROUP BY PARTS.PNUM"
+            )
+        )
+        assert Counter(result.to_list()) == Counter([(3, 2), (8, 1), (10, 2)])
+        assert any("no sort" in step for step in executor.steps)
+
+    def test_scalar_aggregate(self, join_method):
+        catalog = load_kiessling_instance()
+        result = run(catalog, "SELECT COUNT(*) FROM SUPPLY", join_method)
+        assert result.to_list() == [(5,)]
+
+    def test_scalar_aggregate_empty_input(self, join_method):
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog, "SELECT COUNT(*), MAX(QUAN) FROM SUPPLY WHERE QUAN > 99",
+            join_method,
+        )
+        assert result.to_list() == [(0, None)]
+
+    def test_aggregate_order_mixed_with_group_column(self, join_method):
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog,
+            "SELECT COUNT(QUAN), PNUM FROM SUPPLY GROUP BY PNUM",
+            join_method,
+        )
+        assert Counter(result.to_list()) == Counter([(2, 3), (2, 10), (1, 8)])
+
+    def test_non_grouped_column_raises(self, join_method):
+        catalog = load_kiessling_instance()
+        with pytest.raises(PlanError):
+            run(catalog, "SELECT QUAN, PNUM FROM SUPPLY GROUP BY PNUM", join_method)
+
+
+class TestPaperTempTables:
+    """The exact temp-table queries of section 6.1 run correctly."""
+
+    def test_temp1(self, join_method):
+        catalog = load_duplicates_instance()
+        result = run(catalog, "SELECT DISTINCT PNUM FROM PARTS", join_method)
+        assert result.to_list() == [(3,), (8,), (10,)]
+
+    def test_temp2(self, join_method):
+        catalog = load_kiessling_instance()
+        result = run(
+            catalog,
+            "SELECT PNUM, SHIPDATE FROM SUPPLY WHERE SHIPDATE < '1980-01-01'",
+            join_method,
+        )
+        assert Counter(result.to_list()) == Counter(
+            [(3, "1979-07-03"), (3, "1978-10-01"), (10, "1978-06-08")]
+        )
+
+    def test_temp3_outer_join_group_by(self, join_method):
+        """TEMP3 from section 6.1 — the COUNT-preserving outer join."""
+        catalog = load_kiessling_instance()
+        catalog.create_table(
+            __import__("repro.catalog.schema", fromlist=["schema"]).schema(
+                "TEMP1", "PNUM"
+            )
+        )
+        catalog.insert("TEMP1", [(3,), (10,), (8,)])
+        catalog.create_table(
+            __import__("repro.catalog.schema", fromlist=["schema"]).schema(
+                "TEMP2", "PNUM"
+            )
+        )
+        catalog.insert("TEMP2", [(3,), (3,), (10,)])
+        result = run(
+            catalog,
+            "SELECT TEMP1.PNUM, COUNT(TEMP2.PNUM) AS CT FROM TEMP1, TEMP2 "
+            "WHERE TEMP1.PNUM =+ TEMP2.PNUM GROUP BY TEMP1.PNUM",
+            join_method,
+        )
+        assert Counter(result.to_list()) == Counter([(3, 2), (10, 1), (8, 0)])

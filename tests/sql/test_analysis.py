@@ -1,0 +1,114 @@
+"""Tests for correlation analysis (repro.sql.analysis)."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.sql.analysis import (
+    direct_subqueries,
+    is_correlated,
+    nesting_depth,
+    outer_references,
+    resolver_from_columns,
+)
+from repro.sql.parser import parse
+
+RESOLVER = resolver_from_columns(
+    {
+        "PARTS": {"PNUM", "QOH"},
+        "SUPPLY": {"PNUM", "QUAN", "SHIPDATE"},
+        "P": {"PNO", "WEIGHT", "CITY"},
+        "S": {"SNO", "CITY"},
+        "SP": {"SNO", "PNO", "QTY", "ORIGIN"},
+    }
+)
+
+
+def inner_of(sql):
+    block = parse(sql)
+    return direct_subqueries(block)[0]
+
+
+class TestOuterReferences:
+    def test_uncorrelated_block_has_none(self):
+        inner = inner_of("SELECT SNO FROM SP WHERE PNO IN (SELECT PNO FROM P)")
+        assert outer_references(inner, RESOLVER, ("SP",)) == []
+
+    def test_qualified_outer_reference_found(self):
+        inner = inner_of(
+            "SELECT PNUM FROM PARTS WHERE QOH = "
+            "(SELECT COUNT(QUAN) FROM SUPPLY WHERE SUPPLY.PNUM = PARTS.PNUM)"
+        )
+        refs = outer_references(inner, RESOLVER, ("PARTS",))
+        assert [r.qualified() for r in refs] == ["PARTS.PNUM"]
+
+    def test_unqualified_reference_prefers_local(self):
+        # PNUM exists in both SUPPLY (local) and PARTS (outer): local wins.
+        inner = inner_of(
+            "SELECT PNUM FROM PARTS WHERE QOH IN "
+            "(SELECT QUAN FROM SUPPLY WHERE PNUM > 0)"
+        )
+        assert outer_references(inner, RESOLVER, ("PARTS",)) == []
+
+    def test_unqualified_outer_only_column(self):
+        inner = inner_of(
+            "SELECT QOH FROM PARTS WHERE QOH IN "
+            "(SELECT QUAN FROM SUPPLY WHERE QOH > 0)"
+        )
+        refs = outer_references(inner, RESOLVER, ("PARTS",))
+        assert [r.column for r in refs] == ["QOH"]
+
+    def test_unresolvable_reference_raises(self):
+        inner = inner_of(
+            "SELECT QOH FROM PARTS WHERE QOH IN "
+            "(SELECT QUAN FROM SUPPLY WHERE NOPE > 0)"
+        )
+        with pytest.raises(BindError):
+            outer_references(inner, RESOLVER, ("PARTS",))
+
+    def test_reference_found_through_deeper_block(self):
+        inner = inner_of(
+            """
+            SELECT SNO FROM S WHERE SNO IN
+              (SELECT SNO FROM SP WHERE PNO IN
+                (SELECT PNO FROM P WHERE P.CITY = S.CITY))
+            """
+        )
+        refs = outer_references(inner, RESOLVER, ("S",))
+        assert [r.qualified() for r in refs] == ["S.CITY"]
+
+
+class TestIsCorrelated:
+    def test_correlated(self):
+        inner = inner_of(
+            "SELECT SNO FROM S WHERE SNO IN "
+            "(SELECT SNO FROM SP WHERE SP.ORIGIN = S.CITY)"
+        )
+        assert is_correlated(inner, RESOLVER, ("S",))
+
+    def test_not_correlated(self):
+        inner = inner_of("SELECT SNO FROM SP WHERE PNO IN (SELECT PNO FROM P)")
+        assert not is_correlated(inner, RESOLVER, ("SP",))
+
+
+class TestStructure:
+    def test_direct_subqueries_counts_only_own_level(self):
+        block = parse(
+            """
+            SELECT A FROM T WHERE
+              A IN (SELECT B FROM U WHERE B IN (SELECT C FROM V)) AND
+              A = (SELECT MAX(D) FROM W)
+            """
+        )
+        assert len(direct_subqueries(block)) == 2
+
+    def test_nesting_depth(self):
+        assert nesting_depth(parse("SELECT A FROM T")) == 1
+        assert nesting_depth(
+            parse("SELECT A FROM T WHERE A IN (SELECT B FROM U)")
+        ) == 2
+        assert nesting_depth(
+            parse(
+                "SELECT A FROM T WHERE A IN "
+                "(SELECT B FROM U WHERE B IN (SELECT C FROM V))"
+            )
+        ) == 3

@@ -1,0 +1,125 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only_yields_only_eof(self):
+        tokens = tokenize("   \n\t  ")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_are_case_insensitive(self):
+        assert values("select Select SELECT") == ["SELECT", "SELECT", "SELECT"]
+        assert all(t is TokenType.KEYWORD for t in kinds("select")[:-1])
+
+    def test_identifiers_fold_to_upper_case(self):
+        assert values("parts Supply QOH") == ["PARTS", "SUPPLY", "QOH"]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert values("temp_3 r2d2 _x") == ["TEMP_3", "R2D2", "_X"]
+
+    def test_aggregate_names_are_identifiers_not_keywords(self):
+        tokens = tokenize("COUNT MAX")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[1].type is TokenType.IDENT
+
+    def test_integer_literal(self):
+        tokens = tokenize("100")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == "100"
+
+    def test_float_literal(self):
+        tokens = tokenize("3.14")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == "3.14"
+
+    def test_qualified_name_dot_is_not_part_of_number(self):
+        # R1.C1-style qualification must not glue digits to the dot.
+        assert values("SP.QTY") == ["SP", ".", "QTY"]
+
+    def test_number_then_dot_then_identifier(self):
+        # "1.PNUM" lexes as number 1, dot, ident.
+        assert values("1.PNUM") == ["1", ".", "PNUM"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'P2'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "P2"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'abc")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT @")
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op", ["=", "<", ">", "<=", ">=", "<>", "!=", "!>", "!<", "+", "-", "*", "/"]
+    )
+    def test_single_operator(self, op):
+        tokens = tokenize(op)
+        assert tokens[0].type is TokenType.OPERATOR
+        assert tokens[0].value == op
+
+    def test_outer_join_operator(self):
+        tokens = tokenize("A =+ B")
+        assert values("A =+ B") == ["A", "=+", "B"]
+
+    def test_adjacent_operators_scan_greedily(self):
+        assert values("a<=b") == ["A", "<=", "B"]
+        assert values("a<>b") == ["A", "<>", "B"]
+
+    def test_punctuation(self):
+        assert values("( ) , . ;") == ["(", ")", ",", ".", ";"]
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_is_skipped(self):
+        assert values("SELECT -- the outer block\n SNO") == ["SELECT", "SNO"]
+
+    def test_comment_at_end_of_source(self):
+        assert values("SNO -- trailing") == ["SNO"]
+
+    def test_token_positions_are_recorded(self):
+        tokens = tokenize("SELECT SNO")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_full_query_from_paper(self):
+        source = """
+            SELECT SNAME
+            FROM S
+            WHERE SNO IS IN (SELECT SNO
+                             FROM SP
+                             WHERE PNO = 'P2');
+        """
+        words = values(source)
+        assert words[0] == "SELECT"
+        assert "IS" in words
+        assert "IN" in words
+        assert "P2" in words
+        assert words[-1] == ";"

@@ -1,0 +1,76 @@
+"""Tests for the multi-line pretty printer."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql, to_sql_pretty
+from repro.workloads.paper_data import KIESSLING_Q2
+
+from tests.sql.test_roundtrip_property import selects
+
+
+class TestPrettyPrinter:
+    def test_clauses_on_own_lines(self):
+        text = to_sql_pretty(parse(
+            "SELECT PNUM, COUNT(QUAN) FROM SUPPLY WHERE QUAN > 1 "
+            "GROUP BY PNUM HAVING COUNT(QUAN) > 1 ORDER BY PNUM"
+        ))
+        lines = text.splitlines()
+        assert lines[0].startswith("SELECT ")
+        assert lines[1].startswith("FROM ")
+        assert lines[2].startswith("WHERE ")
+        assert lines[3].startswith("GROUP BY ")
+        assert lines[4].startswith("HAVING ")
+        assert lines[5].startswith("ORDER BY ")
+
+    def test_nested_block_is_indented(self):
+        text = to_sql_pretty(parse(KIESSLING_Q2))
+        lines = text.splitlines()
+        inner = [l for l in lines if l.startswith("    ")]
+        assert any("SELECT COUNT(SHIPDATE)" in l for l in inner)
+        assert any("FROM SUPPLY" in l for l in inner)
+
+    def test_conjuncts_are_aligned_with_and(self):
+        text = to_sql_pretty(parse(
+            "SELECT A FROM T WHERE A > 1 AND B < 2 AND C = 3"
+        ))
+        assert text.count("AND") == 2
+        assert "\n  AND " in text
+
+    def test_distinct(self):
+        text = to_sql_pretty(parse("SELECT DISTINCT A FROM T"))
+        assert text.startswith("SELECT DISTINCT A")
+
+    def test_expression_input_falls_back_to_inline(self):
+        from repro.sql.parser import parse_expression
+
+        assert to_sql_pretty(parse_expression("A + 1")) == "A + 1"
+
+    def test_reparses_to_same_ast(self):
+        block = parse(KIESSLING_Q2)
+        assert parse(to_sql_pretty(block)) == block
+
+    @given(block=selects())
+    @settings(max_examples=80, deadline=None)
+    def test_pretty_roundtrip_property(self, block):
+        """Pretty output re-parses to the same AST for conjunction-
+        flattened trees.  (The pretty printer lays the WHERE clause out
+        one conjunct per line, which flattens hand-built nested ANDs;
+        parenthesized nesting is a compact-printer-only artifact.)"""
+        from dataclasses import replace
+
+        from repro.sql.ast import conjuncts, make_and
+
+        flattened = replace(block, where=make_and(conjuncts(block.where)))
+        normalized = parse(to_sql(flattened))
+        assert parse(to_sql_pretty(normalized)) == normalized
+
+    def test_explain_uses_pretty_form(self):
+        from repro.core.pipeline import Engine
+        from repro.workloads.paper_data import load_kiessling_instance
+
+        engine = Engine(load_kiessling_instance())
+        text = engine.explain(KIESSLING_Q2)
+        assert "-- original query" in text
+        assert "\n    SELECT COUNT" in text

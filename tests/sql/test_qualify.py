@@ -1,0 +1,93 @@
+"""Tests for the qualification pass (repro.sql.qualify)."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.sql.analysis import resolver_from_columns
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+from repro.sql.qualify import qualify
+
+RESOLVER = resolver_from_columns(
+    {
+        "PARTS": {"PNUM", "QOH"},
+        "SUPPLY": {"PNUM", "QUAN", "SHIPDATE"},
+        "S": {"SNO", "SNAME", "CITY"},
+        "SP": {"SNO", "PNO", "QTY"},
+        "P": {"PNO", "WEIGHT"},
+        "X": {"PNUM", "QOH"},
+    }
+)
+
+
+def q(sql):
+    return to_sql(qualify(parse(sql), RESOLVER))
+
+
+class TestQualify:
+    def test_simple_block(self):
+        assert q("SELECT PNUM FROM PARTS WHERE QOH > 0") == (
+            "SELECT PARTS.PNUM FROM PARTS WHERE PARTS.QOH > 0"
+        )
+
+    def test_already_qualified_untouched(self):
+        source = "SELECT PARTS.PNUM FROM PARTS WHERE PARTS.QOH > 0"
+        assert q(source) == source
+
+    def test_group_by_order_by_and_having(self):
+        out = q(
+            "SELECT PNUM, COUNT(QUAN) FROM SUPPLY GROUP BY PNUM "
+            "HAVING COUNT(QUAN) > 1 ORDER BY PNUM"
+        )
+        assert "GROUP BY SUPPLY.PNUM" in out
+        assert "COUNT(SUPPLY.QUAN)" in out
+        assert "ORDER BY SUPPLY.PNUM" in out
+
+    def test_count_star_untouched(self):
+        out = q("SELECT COUNT(*) FROM SUPPLY")
+        assert out == "SELECT COUNT(*) FROM SUPPLY"
+
+    def test_inner_block_resolves_locally_first(self):
+        out = q(
+            "SELECT PNUM FROM PARTS WHERE QOH IN "
+            "(SELECT QUAN FROM SUPPLY WHERE PNUM > 0)"
+        )
+        assert "SUPPLY.PNUM > 0" in out
+
+    def test_correlated_reference_resolves_to_enclosing(self):
+        out = q(
+            "SELECT QOH FROM PARTS WHERE QOH IN "
+            "(SELECT QUAN FROM SUPPLY WHERE QOH > 0)"
+        )
+        # QOH only exists in PARTS: the inner reference is correlated.
+        assert "WHERE PARTS.QOH > 0" in out
+
+    def test_the_merging_hazard_is_fixed(self):
+        """The inner SNO must be qualified before FROM clauses merge."""
+        out = q(
+            "SELECT SNAME FROM S WHERE SNO IN (SELECT SNO FROM SP)"
+        )
+        assert "S.SNO IN (SELECT SP.SNO FROM SP)" in out
+
+    def test_alias_scope(self):
+        # Alias bindings resolve through the resolver (the pipeline
+        # builds a binding-aware one; here X is registered directly).
+        out = q("SELECT X.PNUM FROM PARTS X WHERE QOH > 0")
+        assert "X.QOH > 0" in out
+
+    def test_ambiguous_reference_raises(self):
+        with pytest.raises(BindError):
+            q("SELECT PNUM FROM PARTS, SUPPLY")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(BindError):
+            q("SELECT NOPE FROM PARTS")
+
+    def test_exists_and_quantified_blocks_are_entered(self):
+        out = q(
+            "SELECT SNO FROM S WHERE EXISTS "
+            "(SELECT QTY FROM SP WHERE SNO = S.SNO) AND "
+            "SNO > ALL (SELECT SNO FROM SP)"
+        )
+        assert "SELECT SP.QTY FROM SP WHERE SP.SNO = S.SNO" in out
+        assert "ALL (SELECT SP.SNO FROM SP)" in out

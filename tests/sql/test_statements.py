@@ -1,0 +1,118 @@
+"""Tests for DDL/DML statements and Database.execute."""
+
+import pytest
+
+from repro import Database
+from repro.errors import CatalogError, ParseError
+from repro.sql.ast import Select
+from repro.sql.statements import (
+    CreateTable,
+    DropTable,
+    InsertValues,
+    parse_statement,
+)
+
+
+class TestParseStatement:
+    def test_select_dispatches_to_query_parser(self):
+        statement = parse_statement("SELECT A FROM T;")
+        assert isinstance(statement, Select)
+
+    def test_create_table(self):
+        statement = parse_statement(
+            "CREATE TABLE PARTS (PNUM INT, QOH INT, PRIMARY KEY (PNUM));"
+        )
+        assert statement == CreateTable(
+            "PARTS", (("PNUM", "INT"), ("QOH", "INT")), ("PNUM",)
+        )
+
+    def test_create_table_all_types(self):
+        statement = parse_statement(
+            "CREATE TABLE T (A INT, B FLOAT, C TEXT, D DATE)"
+        )
+        assert [t for _, t in statement.columns] == [
+            "INT", "FLOAT", "TEXT", "DATE"
+        ]
+
+    def test_create_table_composite_key(self):
+        statement = parse_statement(
+            "CREATE TABLE SP (SNO TEXT, PNO TEXT, PRIMARY KEY (SNO, PNO))"
+        )
+        assert statement.primary_key == ("SNO", "PNO")
+
+    def test_create_table_bad_type_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE T (A BLOB)")
+
+    def test_create_table_empty_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE T (PRIMARY KEY (A))")
+
+    def test_insert_values(self):
+        statement = parse_statement(
+            "INSERT INTO PARTS VALUES (3, 6), (10, 1), (-8, NULL);"
+        )
+        assert statement == InsertValues(
+            "PARTS", ((3, 6), (10, 1), (-8, None))
+        )
+
+    def test_insert_strings_and_floats(self):
+        statement = parse_statement(
+            "INSERT INTO T VALUES ('abc', 1.5)"
+        )
+        assert statement.rows == (("abc", 1.5),)
+
+    def test_insert_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("INSERT INTO T VALUES (1 + 2)")
+
+    def test_drop_table(self):
+        assert parse_statement("DROP TABLE T;") == DropTable("T")
+
+    def test_garbage_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("FROBNICATE EVERYTHING")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("DROP TABLE T nonsense")
+
+
+class TestDatabaseExecute:
+    def test_full_ddl_dml_query_cycle(self):
+        db = Database()
+        assert db.execute(
+            "CREATE TABLE PARTS (PNUM INT, QOH INT, PRIMARY KEY (PNUM))"
+        ) == "created table PARTS"
+        assert db.execute(
+            "INSERT INTO PARTS VALUES (3, 6), (10, 1), (8, 0)"
+        ) == "inserted 3 row(s) into PARTS"
+        result = db.execute("SELECT PNUM FROM PARTS WHERE QOH > 0")
+        assert result.rows == [(3,), (10,)]
+        assert db.execute("DROP TABLE PARTS") == "dropped table PARTS"
+        assert db.tables() == []
+
+    def test_execute_validates_types(self):
+        db = Database()
+        db.execute("CREATE TABLE T (A INT)")
+        with pytest.raises(CatalogError):
+            db.execute("INSERT INTO T VALUES ('not an int')")
+
+    def test_nested_query_via_execute(self):
+        db = Database()
+        db.execute("CREATE TABLE PARTS (PNUM INT, QOH INT)")
+        db.execute("CREATE TABLE SUPPLY (PNUM INT, QUAN INT, SHIPDATE DATE)")
+        db.execute("INSERT INTO PARTS VALUES (3, 6), (10, 1), (8, 0)")
+        db.execute(
+            "INSERT INTO SUPPLY VALUES "
+            "(3, 4, '1979-07-03'), (3, 2, '1978-10-01'), "
+            "(10, 1, '1978-06-08'), (10, 2, '1981-08-10'), "
+            "(8, 5, '1983-05-07')"
+        )
+        result = db.execute(
+            "SELECT PNUM FROM PARTS WHERE QOH = "
+            "(SELECT COUNT(SHIPDATE) FROM SUPPLY "
+            "WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1980-01-01')",
+            method="transform",
+        )
+        assert sorted(result.rows) == [(8,), (10,)]

@@ -1,0 +1,112 @@
+"""Unit and property tests for heap files."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heap import HeapFile
+
+
+def make_heap(rows_per_page=4, buffer_pages=4):
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=buffer_pages)
+    return disk, pool, HeapFile(pool, rows_per_page=rows_per_page, name="T")
+
+
+class TestHeapFile:
+    def test_empty_heap(self):
+        _, _, heap = make_heap()
+        assert heap.num_pages == 0
+        assert heap.num_rows == 0
+        assert list(heap.scan()) == []
+
+    def test_append_and_scan_preserves_order(self):
+        _, _, heap = make_heap(rows_per_page=3)
+        rows = [(i,) for i in range(10)]
+        heap.extend(rows)
+        assert list(heap.scan()) == rows
+
+    def test_page_count_matches_ceiling_division(self):
+        _, _, heap = make_heap(rows_per_page=4)
+        heap.extend((i,) for i in range(10))
+        assert heap.num_pages == 3  # ceil(10/4)
+        assert heap.num_rows == 10
+
+    def test_exact_page_boundary(self):
+        _, _, heap = make_heap(rows_per_page=4)
+        heap.extend((i,) for i in range(8))
+        assert heap.num_pages == 2
+
+    def test_scan_pages_groups_by_page(self):
+        _, _, heap = make_heap(rows_per_page=4)
+        heap.extend((i,) for i in range(6))
+        pages = list(heap.scan_pages())
+        assert [len(p) for p in pages] == [4, 2]
+
+    def test_truncate_frees_pages(self):
+        disk, _, heap = make_heap(rows_per_page=2)
+        heap.extend((i,) for i in range(6))
+        heap.truncate()
+        assert heap.num_pages == 0
+        assert heap.num_rows == 0
+        assert disk.num_pages == 0
+
+    def test_scan_costs_one_read_per_page_when_cold(self):
+        disk, pool, heap = make_heap(rows_per_page=2, buffer_pages=4)
+        heap.extend((i,) for i in range(8))  # 4 pages
+        heap.flush()
+        pool.evict_all()
+        disk.reset_stats()
+        list(heap.scan())
+        assert disk.page_reads == 4
+
+    def test_flush_writes_each_page_once(self):
+        disk, _, heap = make_heap(rows_per_page=2, buffer_pages=8)
+        heap.extend((i,) for i in range(8))  # 4 pages
+        heap.flush()
+        assert disk.page_writes == 4
+
+    def test_append_after_scan(self):
+        _, _, heap = make_heap(rows_per_page=2)
+        heap.append((1,))
+        assert list(heap.scan()) == [(1,)]
+        heap.append((2,))
+        heap.append((3,))
+        assert list(heap.scan()) == [(1,), (2,), (3,)]
+
+
+class TestHeapProperties:
+    @given(
+        rows=st.lists(st.tuples(st.integers(), st.integers()), max_size=200),
+        rows_per_page=st.integers(min_value=1, max_value=7),
+        buffer_pages=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_any_geometry(self, rows, rows_per_page, buffer_pages):
+        """Whatever the page/buffer geometry, scan returns what was appended."""
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=buffer_pages)
+        heap = HeapFile(pool, rows_per_page=rows_per_page)
+        heap.extend(rows)
+        assert list(heap.scan()) == rows
+        expected_pages = (len(rows) + rows_per_page - 1) // rows_per_page
+        assert heap.num_pages == expected_pages
+
+    @given(
+        n=st.integers(min_value=0, max_value=100),
+        rows_per_page=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cold_scan_reads_exactly_num_pages(self, n, rows_per_page):
+        """A cold sequential scan costs exactly Pk page reads."""
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=2)
+        heap = HeapFile(pool, rows_per_page=rows_per_page)
+        heap.extend((i,) for i in range(n))
+        heap.flush()
+        pool.evict_all()
+        disk.reset_stats()
+        assert len(list(heap.scan())) == n
+        assert disk.page_reads == heap.num_pages

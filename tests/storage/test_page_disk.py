@@ -1,0 +1,136 @@
+"""Unit tests for pages and the simulated disk."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk import DiskManager
+from repro.storage.page import Page
+
+
+class TestPage:
+    def test_new_page_is_empty_and_clean(self):
+        page = Page(0, capacity=4)
+        assert len(page) == 0
+        assert not page.dirty
+        assert not page.is_full
+
+    def test_append_marks_dirty(self):
+        page = Page(0, capacity=4)
+        page.append((1, "a"))
+        assert page.dirty
+        assert page.rows == [(1, "a")]
+
+    def test_append_to_full_page_raises(self):
+        page = Page(0, capacity=1)
+        page.append((1,))
+        assert page.is_full
+        with pytest.raises(StorageError):
+            page.append((2,))
+
+    def test_overfull_construction_raises(self):
+        with pytest.raises(StorageError):
+            Page(0, capacity=1, rows=[(1,), (2,)])
+
+    def test_zero_capacity_raises(self):
+        with pytest.raises(StorageError):
+            Page(0, capacity=0)
+
+
+class TestDiskManager:
+    def test_allocate_is_free(self):
+        disk = DiskManager()
+        disk.allocate()
+        assert disk.page_reads == 0
+        assert disk.page_writes == 0
+        assert disk.num_pages == 1
+
+    def test_read_counts_one_io(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.read_page(pid)
+        assert disk.page_reads == 1
+
+    def test_write_counts_one_io(self):
+        disk = DiskManager()
+        pid = disk.allocate(capacity=4)
+        page = disk.read_page(pid)
+        page.append((1,))
+        disk.write_page(page)
+        assert disk.page_writes == 1
+
+    def test_write_then_read_round_trips(self):
+        disk = DiskManager()
+        pid = disk.allocate(capacity=4)
+        page = disk.read_page(pid)
+        page.append((1, "x"))
+        page.append((2, "y"))
+        disk.write_page(page)
+        again = disk.read_page(pid)
+        assert again.rows == [(1, "x"), (2, "y")]
+
+    def test_read_returns_independent_copy(self):
+        disk = DiskManager()
+        pid = disk.allocate(capacity=4)
+        page = disk.read_page(pid)
+        page.append((1,))
+        # Not written back: a later read sees the old contents.
+        fresh = disk.read_page(pid)
+        assert fresh.rows == []
+
+    def test_deallocate(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.deallocate(pid)
+        assert not disk.exists(pid)
+        with pytest.raises(StorageError):
+            disk.read_page(pid)
+
+    def test_page_ids_are_unique(self):
+        disk = DiskManager()
+        ids = {disk.allocate() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_reset_stats(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.read_page(pid)
+        disk.reset_stats()
+        assert disk.page_reads == 0
+
+    def test_stats_snapshot(self):
+        disk = DiskManager()
+        pid = disk.allocate(4)
+        page = disk.read_page(pid)
+        disk.write_page(page)
+        stats = disk.stats()
+        assert stats.page_reads == 1
+        assert stats.page_writes == 1
+        assert stats.page_ios == 2
+
+
+class TestIOStats:
+    def test_delta(self):
+        from repro.storage.stats import IOStats
+
+        before = IOStats(page_reads=5, page_writes=2, buffer_hits=1)
+        after = IOStats(page_reads=9, page_writes=3, buffer_hits=4)
+        delta = after - before
+        assert delta.page_reads == 4
+        assert delta.page_writes == 1
+        assert delta.buffer_hits == 3
+        assert delta.page_ios == 5
+
+    def test_sum(self):
+        from repro.storage.stats import IOStats
+
+        total = IOStats(1, 2, 3) + IOStats(10, 20, 30)
+        assert total == IOStats(11, 22, 33)
+
+    def test_format_mentions_everything(self):
+        from repro.storage.stats import IOStats
+
+        text = IOStats(3, 4, 5).format()
+        assert "7 page I/Os" in text
+        assert "3 reads" in text
+        assert "4 writes" in text
+        assert "5 buffer hits" in text

