@@ -1,7 +1,13 @@
-"""Interactive shell: ``python -m repro``.
+"""Command-line entry point: ``python -m repro [difftest ...]``.
 
-A small SQL REPL over a fresh :class:`~repro.api.Database`.  Statements
-end with ``;``.  Backslash commands control the session::
+Without arguments, an interactive SQL REPL over a fresh
+:class:`~repro.api.Database`.  With the ``difftest`` subcommand, the
+differential tester against SQLite::
+
+    python -m repro difftest --examples 500 --seed 0
+
+In the REPL, statements end with ``;``.  Backslash commands control
+the session::
 
     \\load kiessling        load a paper instance (kiessling | operator |
                             duplicates | suppliers)
@@ -258,5 +264,18 @@ def repl(stdin=sys.stdin, stdout=sys.stdout) -> int:
     return 0
 
 
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "difftest":
+        from repro.difftest.runner import main as difftest_main
+
+        return difftest_main(argv[1:])
+    if argv:
+        print(f"unknown subcommand {argv[0]!r}; usage: python -m repro "
+              "[difftest --examples N --seed S]", file=sys.stderr)
+        return 2
+    return repl()
+
+
 if __name__ == "__main__":
-    sys.exit(repl())
+    sys.exit(main())

@@ -131,12 +131,17 @@ class Catalog:
     # -- DML -------------------------------------------------------------
 
     def insert(self, name: str, rows: Iterable[tuple]) -> int:
-        """Validate and append rows; returns the number inserted."""
+        """Validate and append rows; returns the number inserted.
+
+        The batch is atomic: every row is validated before any row is
+        appended, so a validation error leaves the table untouched.
+        """
         entry = self._require(name)
-        count = 0
-        for row in rows:
-            tupled = tuple(row)
+        tupled_rows = [tuple(row) for row in rows]
+        for tupled in tupled_rows:
             entry.schema.validate_row(tupled)
+        count = 0
+        for tupled in tupled_rows:
             entry.heap.append(tupled)
             count += 1
         entry.heap.close_writes()

@@ -134,9 +134,13 @@ class _NestG:
     ) -> Select:
         """Postorder transformation of one query block."""
         ensure_transformable(block)
-        block = _normalize_scalar_sides(block)
 
         while True:
+            # Re-normalize every iteration: a comparison of *two*
+            # subqueries (the exact ALL rewrite produces one) exposes
+            # its left-side subquery only after the right side has been
+            # merged away.
+            block = _normalize_scalar_sides(block)
             found = self._first_nested_conjunct(block)
             if found is None:
                 return block
@@ -363,6 +367,7 @@ def _normalize_scalar_sides(block: Select) -> Select:
                     MIRRORED_OPS[conjunct.op],
                     conjunct.left,
                     conjunct.outer,
+                    conjunct.null_safe,
                 )
             )
             changed = True

@@ -193,11 +193,15 @@ def apply_nest_ja2(
 
     # -- Rewritten inner block: type-J over TEMP3 with equality joins
     # ("the join predicate in the original query must be changed to =").
+    # For COUNT the equality must be *null-safe*: the outer join kept a
+    # TEMP3 group for a NULL outer value (COUNT = 0), and a plain `=`
+    # in the final join would silently drop exactly those rows again.
     rewritten_preds = [
         Comparison(
             ColumnRef(temp3_name, col_index[col.column]),
             "=",
             ColumnRef(outer_binding, col.column),
+            null_safe=is_count,
         )
         for col in outer_cols
     ]
@@ -245,19 +249,34 @@ def _outer_simple_predicates(
     outer_binding: str,
     has_column: ColumnResolver,
 ) -> Expr | None:
-    """Step 1's restriction: the outer block's predicates local to Ri."""
+    """Step 1's restriction: the outer block's predicates local to Ri.
+
+    An *unqualified* reference is attributed to ``outer_binding`` only
+    when no other FROM entry of the outer block exposes the same column
+    name — otherwise the reference may belong to a different table and
+    hoisting the conjunct into TEMP1 would restrict the wrong relation.
+    """
     if outer_block is None:
         return None
+
+    def owned_by_outer(ref) -> bool:
+        if ref.table is not None:
+            return ref.table == outer_binding
+        if not has_column(outer_binding, ref.column):
+            return False
+        others = [
+            binding
+            for binding in outer_block.table_bindings
+            if binding != outer_binding and has_column(binding, ref.column)
+        ]
+        return not others
+
     local: list[Expr] = []
     for conjunct in conjuncts(outer_block.where):
         refs = list(column_refs(conjunct))
         if not refs:
             continue
-        if all(
-            (ref.table == outer_binding)
-            or (ref.table is None and has_column(outer_binding, ref.column))
-            for ref in refs
-        ):
+        if all(owned_by_outer(ref) for ref in refs):
             # Exclude anything containing a subquery.
             from repro.sql.ast import walk, Select as SelectNode
 

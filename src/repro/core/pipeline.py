@@ -58,7 +58,10 @@ class RunReport:
 
 
 def prepare_query(
-    select: Select, catalog: Catalog, exists_count_mode: str = "star"
+    select: Select,
+    catalog: Catalog,
+    exists_count_mode: str = "star",
+    quantifier_mode: str = "exact",
 ) -> Select:
     """Qualify all column references and rewrite extended predicates.
 
@@ -97,7 +100,7 @@ def prepare_query(
         return None
 
     qualified = qualify(select, has_column, list_columns=list_columns)
-    return rewrite_extended_predicates(qualified, exists_count_mode)
+    return rewrite_extended_predicates(qualified, exists_count_mode, quantifier_mode)
 
 
 class Engine:
@@ -111,6 +114,7 @@ class Engine:
         dedupe_inner: bool = False,
         dedupe_outer: bool = False,
         exists_count_mode: str = "star",
+        quantifier_mode: str = "exact",
     ) -> None:
         self.catalog = catalog
         self.join_method = join_method
@@ -118,6 +122,7 @@ class Engine:
         self.dedupe_inner = dedupe_inner
         self.dedupe_outer = dedupe_outer
         self.exists_count_mode = exists_count_mode
+        self.quantifier_mode = quantifier_mode
 
     # -- public API ----------------------------------------------------------
 
@@ -294,7 +299,9 @@ class Engine:
 
     def _prepare(self, select: Select) -> Select:
         """Qualify all column references, then rewrite extended predicates."""
-        return prepare_query(select, self.catalog, self.exists_count_mode)
+        return prepare_query(
+            select, self.catalog, self.exists_count_mode, self.quantifier_mode
+        )
 
     def _run_nested_iteration(self, select: Select) -> RunReport:
         before = self.catalog.buffer.stats()

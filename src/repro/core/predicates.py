@@ -6,16 +6,39 @@ regular algorithms apply:
 
 * ``EXISTS (Q)``      →  ``0 < (SELECT COUNT(...) ...)``
 * ``NOT EXISTS (Q)``  →  ``0 = (SELECT COUNT(...) ...)``
+* ``x = ANY (Q)`` → ``x IN (Q)`` and ``x <> ALL (Q)`` → ``x NOT IN (Q)``
+  (normalized by the parser already).
+
+For ANY/ALL two rewrite strategies are offered
+(``quantifier_mode``):
+
+``"exact"`` (the default) — counting rewrites that preserve SQL
+semantics for every comparison operator, including the empty-set and
+NULL-item edge cases the paper's MIN/MAX table gets wrong:
+
+* ``x op ANY (Q)``  →  ``0 < (SELECT COUNT(*) FROM ... WHERE ... AND
+  x op item)`` — some inner row compares True;
+* ``x op ALL (Q)``  →  ``(SELECT COUNT(*) FROM ... WHERE ...) =
+  (SELECT COUNT(*) FROM ... WHERE ... AND x op item)`` — *every* inner
+  row compares True (vacuously satisfied by an empty set, and a NULL
+  item or NULL ``x`` makes the right count fall short, rejecting the
+  tuple exactly as three-valued ALL does).
+
+These are exact in positive conjunct contexts, the only place the
+transformation pipeline accepts subqueries (``ensure_transformable``
+rejects subqueries under OR/NOT).  They also cover ``= ALL`` and
+``<> ANY``, which have no MIN/MAX form.
+
+``"paper"`` — the paper's section 8.2 table:
+
 * ``x < ANY (Q)``     →  ``x < (SELECT MAX(item) ...)``   (also ``<=``)
 * ``x < ALL (Q)``     →  ``x < (SELECT MIN(item) ...)``   (also ``<=``)
 * ``x > ANY (Q)``     →  ``x > (SELECT MIN(item) ...)``   (also ``>=``)
 * ``x > ALL (Q)``     →  ``x > (SELECT MAX(item) ...)``   (also ``>=``)
-* ``x = ANY (Q)`` → ``x IN (Q)`` and ``x <> ALL (Q)`` → ``x NOT IN (Q)``
-  (normalized by the parser already).
 
-Semantic caveats (the paper itself says "logically (but not necessarily
-semantically) equivalent", section 8.2) — all demonstrated in the test
-suite:
+Semantic caveats of the paper mode (the paper itself says "logically
+(but not necessarily semantically) equivalent", section 8.2) — all
+demonstrated in the test suite:
 
 * with an **empty** inner result, ``x < ALL (∅)`` is *true* while the
   rewritten ``x < (SELECT MIN(...))`` compares against NULL and is
@@ -52,9 +75,10 @@ from repro.sql.ast import (
     Select,
     SelectItem,
     Star,
+    make_and,
 )
 
-#: op, quantifier → aggregate for the section 8.2 table.
+#: op, quantifier → aggregate for the section 8.2 table (paper mode).
 _QUANTIFIER_AGG = {
     ("<", "ANY"): "MAX",
     ("<=", "ANY"): "MAX",
@@ -68,59 +92,78 @@ _QUANTIFIER_AGG = {
 
 
 def rewrite_extended_predicates(
-    select: Select, exists_count_mode: str = "star"
+    select: Select,
+    exists_count_mode: str = "star",
+    quantifier_mode: str = "exact",
 ) -> Select:
     """Rewrite every EXISTS / NOT EXISTS / ANY / ALL in a query tree."""
     if exists_count_mode not in ("star", "paper"):
         raise TransformError(f"unknown exists_count_mode {exists_count_mode!r}")
-    return _rewrite_select(select, exists_count_mode)
+    if quantifier_mode not in ("exact", "paper"):
+        raise TransformError(f"unknown quantifier_mode {quantifier_mode!r}")
+    return _rewrite_select(select, exists_count_mode, quantifier_mode)
 
 
-def _rewrite_select(select: Select, mode: str) -> Select:
-    where = _rewrite_expr(select.where, mode) if select.where is not None else None
+def _rewrite_select(select: Select, mode: str, qmode: str) -> Select:
+    where = (
+        _rewrite_expr(select.where, mode, qmode)
+        if select.where is not None
+        else None
+    )
     having = (
-        _rewrite_expr(select.having, mode) if select.having is not None else None
+        _rewrite_expr(select.having, mode, qmode)
+        if select.having is not None
+        else None
     )
     return replace(select, where=where, having=having)
 
 
-def _rewrite_expr(expr: Expr, mode: str) -> Expr:
+def _rewrite_expr(expr: Expr, mode: str, qmode: str) -> Expr:
     if isinstance(expr, And):
-        return And(tuple(_rewrite_expr(op, mode) for op in expr.operands))
+        return And(tuple(_rewrite_expr(op, mode, qmode) for op in expr.operands))
     if isinstance(expr, Or):
-        return Or(tuple(_rewrite_expr(op, mode) for op in expr.operands))
+        return Or(tuple(_rewrite_expr(op, mode, qmode) for op in expr.operands))
     if isinstance(expr, Not):
         inner = expr.operand
         if isinstance(inner, Exists):
-            return _exists_to_count(inner.query, negated=not inner.negated, mode=mode)
-        return Not(_rewrite_expr(inner, mode))
+            return _exists_to_count(
+                inner.query, negated=not inner.negated, mode=mode, qmode=qmode
+            )
+        return Not(_rewrite_expr(inner, mode, qmode))
     if isinstance(expr, Exists):
-        return _exists_to_count(expr.query, negated=expr.negated, mode=mode)
+        return _exists_to_count(
+            expr.query, negated=expr.negated, mode=mode, qmode=qmode
+        )
     if isinstance(expr, Quantified):
-        return _quantified_to_aggregate(expr, mode)
+        if qmode == "exact":
+            return _quantified_to_count(expr, mode, qmode)
+        return _quantified_to_aggregate(expr, mode, qmode)
     if isinstance(expr, InSubquery):
-        return replace(expr, query=_rewrite_select(expr.query, mode))
+        return replace(expr, query=_rewrite_select(expr.query, mode, qmode))
     if isinstance(expr, Comparison):
         return Comparison(
-            _rewrite_scalar(expr.left, mode),
+            _rewrite_scalar(expr.left, mode, qmode),
             expr.op,
-            _rewrite_scalar(expr.right, mode),
+            _rewrite_scalar(expr.right, mode, qmode),
             expr.outer,
+            expr.null_safe,
         )
     if isinstance(expr, (IsNull, Between, InList)):
         return expr
     return expr
 
 
-def _rewrite_scalar(expr: Expr, mode: str) -> Expr:
+def _rewrite_scalar(expr: Expr, mode: str, qmode: str) -> Expr:
     if isinstance(expr, ScalarSubquery):
-        return ScalarSubquery(_rewrite_select(expr.query, mode))
+        return ScalarSubquery(_rewrite_select(expr.query, mode, qmode))
     return expr
 
 
-def _exists_to_count(query: Select, negated: bool, mode: str) -> Comparison:
+def _exists_to_count(
+    query: Select, negated: bool, mode: str, qmode: str
+) -> Comparison:
     """``[NOT] EXISTS (Q)`` → ``0 < COUNT`` / ``0 = COUNT`` (section 8.1)."""
-    inner = _rewrite_select(query, mode)
+    inner = _rewrite_select(query, mode, qmode)
     count_arg: Expr = Star()
     if mode == "paper" and len(inner.items) == 1 and isinstance(
         inner.items[0].expr, ColumnRef
@@ -134,7 +177,34 @@ def _exists_to_count(query: Select, negated: bool, mode: str) -> Comparison:
     return Comparison(Literal(0), op, ScalarSubquery(counting))
 
 
-def _quantified_to_aggregate(pred: Quantified, mode: str) -> Comparison:
+def _quantified_item(inner: Select) -> Expr:
+    if len(inner.items) != 1:
+        raise TransformError("quantified subquery must select one item")
+    item = inner.items[0].expr
+    if isinstance(item, Star):
+        raise TransformError("quantified subquery cannot select *")
+    return item
+
+
+def _quantified_to_count(pred: Quantified, mode: str, qmode: str) -> Expr:
+    """Exact counting rewrite of ``x op ANY|ALL (Q)`` (see module doc)."""
+    inner = _rewrite_select(pred.query, mode, qmode)
+    item = _quantified_item(inner)
+    matches = replace(
+        inner,
+        items=(SelectItem(FuncCall("COUNT", Star()), alias="CNT"),),
+        where=make_and([inner.where, Comparison(pred.operand, pred.op, item)]),
+    )
+    if pred.quantifier == "ANY":
+        return Comparison(Literal(0), "<", ScalarSubquery(matches))
+    total = replace(
+        inner,
+        items=(SelectItem(FuncCall("COUNT", Star()), alias="CNT"),),
+    )
+    return Comparison(ScalarSubquery(total), "=", ScalarSubquery(matches))
+
+
+def _quantified_to_aggregate(pred: Quantified, mode: str, qmode: str) -> Comparison:
     """``x op ANY|ALL (Q)`` → scalar comparison with MIN/MAX (section 8.2)."""
     agg = _QUANTIFIER_AGG.get((pred.op, pred.quantifier))
     if agg is None:
@@ -142,12 +212,8 @@ def _quantified_to_aggregate(pred: Quantified, mode: str) -> Comparison:
             f"no section-8 transformation for {pred.op} {pred.quantifier} "
             "(only =ANY and <>ALL have IN forms, handled by the parser)"
         )
-    inner = _rewrite_select(pred.query, mode)
-    if len(inner.items) != 1:
-        raise TransformError("quantified subquery must select one item")
-    item = inner.items[0].expr
-    if isinstance(item, Star):
-        raise TransformError("quantified subquery cannot select *")
+    inner = _rewrite_select(pred.query, mode, qmode)
+    item = _quantified_item(inner)
     aggregated = replace(
         inner,
         items=(SelectItem(FuncCall(agg, item), alias="AGG"),),

@@ -1,0 +1,211 @@
+"""Seeded random generator for differential-test cases.
+
+A :class:`Case` is a (schema, data, query) triple.  The generator is
+driven by ``random.Random`` (not wall-clock entropy) so a seed fully
+determines the run — ``python -m repro difftest --seed 0`` is
+reproducible, and a failing case prints its seed and index.
+
+The grammar deliberately concentrates on the paper's hard spots:
+
+* NULLs appear in every column (the COUNT-bug and three-valued-logic
+  territory);
+* duplicate-heavy outer relations (Kim's Lemma 1 multiplicity caveat);
+* correlated aggregates over every aggregate function, COUNT(*) and
+  DISTINCT variants, with *non-equality* correlation operators
+  (section 5.3's operator bug);
+* EXISTS / NOT EXISTS / ANY / ALL with every comparison operator
+  (section 8), including over empty inner sets;
+* uncorrelated NOT IN (NEST-A territory) and plain type-N/J nesting.
+
+Data is integer-only over a tiny domain: small domains force
+duplicates and join collisions, and they sidestep SQLite type-affinity
+noise, so every divergence is a real semantics difference.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import schema
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+#: column layout of every generated case.
+TABLES = {"T": ("A", "B"), "U": ("A", "C")}
+
+_OPS = ("=", "<>", "<", "<=", ">", ">=")
+_AGGS = (
+    "COUNT({col})",
+    "COUNT(*)",
+    "COUNT(DISTINCT {col})",
+    "SUM({col})",
+    "SUM(DISTINCT {col})",
+    "MIN({col})",
+    "MAX({col})",
+    "AVG({col})",
+    "AVG(DISTINCT {col})",
+)
+
+
+@dataclass
+class Case:
+    """One differential-test input: rows per table plus a query."""
+
+    rows: dict[str, list[tuple]]
+    sql: str
+    seed: int | None = None
+    index: int | None = None
+
+    def build_catalog(self, buffer_pages: int = 8) -> Catalog:
+        catalog = Catalog(BufferPool(DiskManager(), capacity=buffer_pages))
+        for name, columns in TABLES.items():
+            catalog.create_table(schema(name, *columns))
+            catalog.insert(name, self.rows.get(name, []))
+        return catalog
+
+    def describe(self) -> str:
+        lines = []
+        for name, columns in TABLES.items():
+            rows = self.rows.get(name, [])
+            lines.append(f"{name}({', '.join(columns)}) = {rows!r}")
+        lines.append(f"SQL: {self.sql}")
+        return "\n".join(lines)
+
+
+class CaseGenerator:
+    """Draws random cases from the grammar, deterministically by seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # -- data ------------------------------------------------------------
+
+    def value(self, null_weight: float = 0.2) -> int | None:
+        if self.rng.random() < null_weight:
+            return None
+        return self.rng.randint(0, 3)
+
+    def rows_for(self, width: int) -> list[tuple]:
+        count = self.rng.randint(0, 6)
+        rows = [
+            tuple(self.value() for _ in range(width)) for _ in range(count)
+        ]
+        # Duplicate-heavy: sometimes replay entire rows verbatim.
+        if rows and self.rng.random() < 0.4:
+            for _ in range(self.rng.randint(1, 3)):
+                rows.append(self.rng.choice(rows))
+        return rows
+
+    # -- query fragments -------------------------------------------------
+
+    def op(self) -> str:
+        return self.rng.choice(_OPS)
+
+    def simple_predicate(self, binding: str, columns: tuple[str, ...]) -> str:
+        column = f"{binding}.{self.rng.choice(columns)}"
+        roll = self.rng.random()
+        if roll < 0.2:
+            negated = " NOT" if self.rng.random() < 0.5 else ""
+            return f"{column} IS{negated} NULL"
+        return f"{column} {self.op()} {self.rng.randint(0, 3)}"
+
+    def maybe_and_simple(self, binding: str, columns: tuple[str, ...]) -> str:
+        if self.rng.random() < 0.4:
+            return f" AND {self.simple_predicate(binding, columns)}"
+        return ""
+
+    # -- nested predicates (inner block always over U) -------------------
+
+    def nested_predicate(self) -> str:
+        produce = self.rng.choice(
+            (
+                self._type_n,
+                self._not_in,
+                self._type_j,
+                self._exists,
+                self._quantified,
+                self._type_a,
+                self._type_ja,
+            )
+        )
+        return produce()
+
+    def _inner_where(self, correlated: bool) -> str:
+        conjuncts = []
+        if correlated:
+            conjuncts.append(f"U.A {self.op()} T.A")
+        if self.rng.random() < 0.4:
+            conjuncts.append(self.simple_predicate("U", TABLES["U"]))
+        return " WHERE " + " AND ".join(conjuncts) if conjuncts else ""
+
+    def _type_n(self) -> str:
+        return f"T.A IN (SELECT U.A FROM U{self._inner_where(False)})"
+
+    def _not_in(self) -> str:
+        # Uncorrelated only: correlated NOT IN is documented untransformable.
+        return f"T.A NOT IN (SELECT U.A FROM U{self._inner_where(False)})"
+
+    def _type_j(self) -> str:
+        where = f" WHERE U.C {self.op()} T.B"
+        where += self.maybe_and_simple("U", TABLES["U"])
+        return f"T.A IN (SELECT U.A FROM U{where})"
+
+    def _exists(self) -> str:
+        keyword = "EXISTS" if self.rng.random() < 0.5 else "NOT EXISTS"
+        where = self._inner_where(self.rng.random() < 0.8)
+        return f"{keyword} (SELECT U.C FROM U{where})"
+
+    def _quantified(self) -> str:
+        quantifier = self.rng.choice(("ANY", "ALL"))
+        where = self._inner_where(self.rng.random() < 0.5)
+        return (
+            f"T.B {self.op()} {quantifier} (SELECT U.C FROM U{where})"
+        )
+
+    def _type_a(self) -> str:
+        agg = self.rng.choice(_AGGS).format(col="U.C")
+        return (
+            f"T.B {self.op()} (SELECT {agg} FROM U{self._inner_where(False)})"
+        )
+
+    def _type_ja(self) -> str:
+        agg = self.rng.choice(_AGGS).format(col="U.C")
+        where = f" WHERE U.A {self.op()} T.A"
+        where += self.maybe_and_simple("U", TABLES["U"])
+        return f"T.B {self.op()} (SELECT {agg} FROM U{where})"
+
+    # -- whole queries ---------------------------------------------------
+
+    def query(self) -> str:
+        roll = self.rng.random()
+        if roll < 0.15:
+            return self._flat_query()
+        conjuncts = [self.nested_predicate()]
+        if self.rng.random() < 0.4:
+            conjuncts.append(self.simple_predicate("T", TABLES["T"]))
+        self.rng.shuffle(conjuncts)
+        return "SELECT T.A, T.B FROM T WHERE " + " AND ".join(conjuncts)
+
+    def _flat_query(self) -> str:
+        roll = self.rng.random()
+        where = ""
+        if self.rng.random() < 0.5:
+            where = f" WHERE {self.simple_predicate('T', TABLES['T'])}"
+        if roll < 0.4:
+            agg = self.rng.choice(_AGGS).format(col="T.B")
+            return f"SELECT T.A, {agg} FROM T{where} GROUP BY T.A"
+        if roll < 0.7:
+            agg = self.rng.choice(_AGGS).format(col="T.B")
+            return f"SELECT {agg} FROM T{where}"
+        distinct = "DISTINCT " if self.rng.random() < 0.5 else ""
+        return f"SELECT {distinct}T.A, T.B FROM T{where}"
+
+    def case(self, index: int | None = None) -> Case:
+        rows = {
+            name: self.rows_for(len(columns))
+            for name, columns in TABLES.items()
+        }
+        return Case(rows=rows, sql=self.query(), seed=self.seed, index=index)

@@ -1,0 +1,84 @@
+"""Greedy shrinker for failing differential-test cases.
+
+Given a failing (rows, query) pair and a predicate "does this still
+fail?", the minimizer repeatedly tries smaller variants and keeps any
+that still fail:
+
+1. drop whole rows, one at a time, from each table;
+2. simplify surviving values (NULL stays NULL — it is usually the
+   point — but every non-zero integer is tried as 0).
+
+Queries are not shrunk structurally (they are one generated template
+deep already); the payoff is in the data, where a 10-row case
+routinely shrinks to 1–2 rows that pin the exact semantics bug.
+The process is a fixpoint loop and deterministic, so a minimized
+reproducer can be pasted directly into a regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.difftest.grammar import Case
+
+
+def minimize_case(case: Case, still_fails: Callable[[Case], bool]) -> Case:
+    """Shrink ``case`` while ``still_fails`` holds; returns the fixpoint."""
+    current = case
+    changed = True
+    while changed:
+        changed = False
+        dropped = _drop_rows(current, still_fails)
+        if dropped is not None:
+            current = dropped
+            changed = True
+        simplified = _simplify_values(current, still_fails)
+        if simplified is not None:
+            current = simplified
+            changed = True
+    return current
+
+
+def _drop_rows(
+    case: Case, still_fails: Callable[[Case], bool]
+) -> Case | None:
+    shrunk = None
+    current = case
+    for table in sorted(current.rows):
+        index = 0
+        while index < len(current.rows[table]):
+            rows = dict(current.rows)
+            rows[table] = rows[table][:index] + rows[table][index + 1 :]
+            candidate = replace(current, rows=rows)
+            if still_fails(candidate):
+                current = candidate
+                shrunk = candidate
+            else:
+                index += 1
+    return shrunk
+
+
+def _simplify_values(
+    case: Case, still_fails: Callable[[Case], bool]
+) -> Case | None:
+    shrunk = None
+    current = case
+    for table in sorted(current.rows):
+        for row_index, row in enumerate(list(current.rows[table])):
+            for col_index, value in enumerate(row):
+                if value is None or value == 0:
+                    continue
+                rows = dict(current.rows)
+                new_row = row[:col_index] + (0,) + row[col_index + 1 :]
+                rows[table] = (
+                    rows[table][:row_index]
+                    + [new_row]
+                    + rows[table][row_index + 1 :]
+                )
+                candidate = replace(current, rows=rows)
+                if still_fails(candidate):
+                    current = candidate
+                    shrunk = candidate
+                    row = new_row
+    return shrunk

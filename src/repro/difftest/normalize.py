@@ -1,0 +1,52 @@
+"""Normalize result sets so different engines compare as multisets.
+
+SQL results are bags; the engines may emit rows in any order, SQLite
+may return ``2.0`` where the repro engine returns ``2`` (or vice versa
+— AVG and division produce floats in both), and NULL needs an
+unambiguous marker that cannot collide with data.  Each value becomes
+a tagged tuple:
+
+* ``("NULL",)`` for NULL,
+* ``("NUM", rounded)`` for any number (int/float coerced; rounded to
+  9 decimal places to absorb float representation noise),
+* ``("STR", s)`` for text.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+NULL_MARKER = ("NULL",)
+
+
+def normalize_value(value: object) -> tuple:
+    if value is None:
+        return NULL_MARKER
+    if isinstance(value, bool):
+        return ("NUM", round(float(int(value)), 9))
+    if isinstance(value, (int, float)):
+        return ("NUM", round(float(value), 9))
+    if isinstance(value, str):
+        return ("STR", value)
+    raise TypeError(f"unexpected value in a result row: {value!r}")
+
+
+def normalize_rows(rows: Iterable[tuple]) -> Counter:
+    """The multiset of normalized rows."""
+    return Counter(tuple(normalize_value(v) for v in row) for row in rows)
+
+
+def format_rows(rows: Iterable[tuple], limit: int = 20) -> str:
+    """Human-readable normalized bag (for divergence reports)."""
+    counted = normalize_rows(rows)
+    lines = []
+    for row, count in sorted(counted.items(), key=repr)[:limit]:
+        values = ", ".join(
+            "NULL" if v == NULL_MARKER else repr(v[1]) for v in row
+        )
+        suffix = f" x{count}" if count > 1 else ""
+        lines.append(f"  ({values}){suffix}")
+    if len(counted) > limit:
+        lines.append(f"  ... {len(counted) - limit} more distinct rows")
+    return "\n".join(lines) if lines else "  (empty)"

@@ -1,0 +1,51 @@
+"""Run queries against SQLite as the reference implementation.
+
+A :class:`SQLiteOracle` snapshots a catalog's base tables into an
+in-memory ``sqlite3`` database.  Columns are created without type
+affinity so values round-trip exactly as stored (SQLite's dynamic
+typing then matches the engine's Python-value semantics for the
+integer-only data the fuzzer generates).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.catalog.catalog import Catalog
+from repro.difftest.sqlite_sql import to_sqlite_sql
+from repro.sql.ast import Select
+
+
+class SQLiteOracle:
+    """An in-memory SQLite mirror of a catalog's base tables."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.connection = sqlite3.connect(":memory:")
+        for name in catalog.table_names():
+            entry = catalog.get(name)
+            if entry.is_temp:
+                continue
+            columns = list(entry.schema.column_names)
+            quoted = ", ".join(f'"{c}"' for c in columns)
+            self.connection.execute(f'CREATE TABLE "{name}" ({quoted})')
+            placeholders = ", ".join("?" for _ in columns)
+            self.connection.executemany(
+                f'INSERT INTO "{name}" VALUES ({placeholders})',
+                entry.heap.scan(),
+            )
+        self.connection.commit()
+
+    def run(self, query: Select | str) -> list[tuple]:
+        """Execute a query (AST or raw SQLite SQL) and fetch all rows."""
+        sql = to_sqlite_sql(query) if isinstance(query, Select) else query
+        cursor = self.connection.execute(sql)
+        return [tuple(row) for row in cursor.fetchall()]
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SQLiteOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

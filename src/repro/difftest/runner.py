@@ -1,0 +1,218 @@
+"""The three-way differential comparison and its CLI.
+
+For every generated case the runner executes the query three ways —
+
+1. ``nested_iteration`` (System R semantics, the repo's baseline),
+2. ``transform``        (NEST-G with the paper's algorithms), and
+3. SQLite               (the external reference oracle)
+
+— normalizes each result to a multiset, and demands agreement.  The
+transform leg is skipped (not failed) when the query is outside the
+algorithms' documented reach (``TransformError``, e.g. correlated
+NOT IN); the other two legs must still agree.
+
+The engine runs with ``dedupe_inner=True, dedupe_outer=True``: the
+paper-faithful defaults reproduce Kim's Lemma-1 multiplicity caveat by
+design, and the difftest's job is to check the *fixed-up* pipeline
+against real SQL semantics.
+
+Known dialect differences (the allowlist) are enforced structurally
+rather than filtered after the fact: the grammar generates none of
+
+* scalar subqueries of more than one row (our engine raises
+  ``CardinalityError``; SQLite silently takes the first row),
+* integer division (``/`` is true division here, integer in SQLite),
+* division by zero (an error here, NULL in SQLite),
+* mixed-type comparisons (an error here, type-ordered in SQLite).
+
+Everything the grammar does generate must agree exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import Engine
+from repro.difftest.grammar import Case, CaseGenerator
+from repro.difftest.normalize import normalize_rows
+from repro.difftest.oracle import SQLiteOracle
+from repro.errors import TransformError
+from repro.sql.parser import parse
+
+
+@dataclass
+class CaseOutcome:
+    """Result of running one case through all three engines."""
+
+    case: Case
+    status: str  # "ok" | "divergence" | "error"
+    transform_skipped: bool = False
+    detail: str = ""
+    results: dict[str, Counter] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.status != "ok"
+
+
+def run_case(case: Case) -> CaseOutcome:
+    """Execute one case three ways and compare normalized bags."""
+    catalog = case.build_catalog()
+    try:
+        select = parse(case.sql)
+    except Exception as exc:  # pragma: no cover - grammar emits valid SQL
+        return CaseOutcome(case, "error", detail=f"parse: {exc}")
+
+    engine = Engine(catalog, dedupe_inner=True, dedupe_outer=True)
+    results: dict[str, Counter] = {}
+
+    try:
+        with SQLiteOracle(catalog) as oracle:
+            results["sqlite"] = normalize_rows(oracle.run(select))
+    except Exception as exc:
+        return CaseOutcome(case, "error", detail=f"sqlite: {exc}")
+
+    try:
+        ni = engine.run(select, method="nested_iteration")
+        results["nested_iteration"] = normalize_rows(ni.result.rows)
+    except Exception as exc:
+        return CaseOutcome(
+            case, "error", detail=f"nested_iteration: {exc}", results=results
+        )
+
+    transform_skipped = False
+    try:
+        tr = engine.run(select, method="transform")
+        results["transform"] = normalize_rows(tr.result.rows)
+    except TransformError as exc:
+        transform_skipped = True
+        detail_skip = str(exc)
+    except Exception as exc:
+        return CaseOutcome(
+            case, "error", detail=f"transform: {exc}", results=results
+        )
+
+    reference = results["sqlite"]
+    for leg in ("nested_iteration", "transform"):
+        if leg in results and results[leg] != reference:
+            return CaseOutcome(
+                case,
+                "divergence",
+                transform_skipped=transform_skipped,
+                detail=f"{leg} disagrees with sqlite",
+                results=results,
+            )
+    return CaseOutcome(
+        case,
+        "ok",
+        transform_skipped=transform_skipped,
+        detail="transform skipped: " + detail_skip if transform_skipped else "",
+        results=results,
+    )
+
+
+@dataclass
+class Report:
+    """Aggregate statistics of a difftest run."""
+
+    examples: int = 0
+    ok: int = 0
+    transform_skipped: int = 0
+    failures: list[CaseOutcome] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        return (
+            f"{self.examples} examples: {self.ok} ok, "
+            f"{self.transform_skipped} transform-leg skips, "
+            f"{len(self.failures)} failure(s)"
+        )
+
+
+def run_difftest(
+    examples: int = 200,
+    seed: int = 0,
+    stop_on_failure: bool = True,
+    minimize: bool = True,
+) -> Report:
+    """Generate and check ``examples`` cases; minimize any failure."""
+    from repro.difftest.minimize import minimize_case
+
+    generator = CaseGenerator(seed)
+    report = Report()
+    for index in range(examples):
+        case = generator.case(index)
+        outcome = run_case(case)
+        report.examples += 1
+        if outcome.status == "ok":
+            report.ok += 1
+            if outcome.transform_skipped:
+                report.transform_skipped += 1
+            continue
+        if minimize:
+            shrunk = minimize_case(case, lambda c: run_case(c).failed)
+            outcome = run_case(shrunk)
+            if not outcome.failed:  # pragma: no cover - shrinker invariant
+                outcome = run_case(case)
+        report.failures.append(outcome)
+        if stop_on_failure:
+            break
+    return report
+
+
+def format_outcome(outcome: CaseOutcome) -> str:
+    lines = [
+        f"--- {outcome.status.upper()} (case #{outcome.case.index}, "
+        f"seed {outcome.case.seed}) ---",
+        outcome.case.describe(),
+        f"detail: {outcome.detail}",
+    ]
+    for leg, bag in outcome.results.items():
+        lines.append(f"{leg}:")
+        lines.append(format_rows_from_bag(bag))
+    return "\n".join(lines)
+
+
+def format_rows_from_bag(bag: Counter) -> str:
+    lines = []
+    for row, count in sorted(bag.items(), key=repr):
+        values = ", ".join(
+            "NULL" if v == ("NULL",) else repr(v[1]) for v in row
+        )
+        suffix = f" x{count}" if count > 1 else ""
+        lines.append(f"  ({values}){suffix}")
+    return "\n".join(lines) if lines else "  (empty)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro difftest",
+        description="Differential-test the engine against SQLite.",
+    )
+    parser.add_argument(
+        "--examples", type=int, default=200, help="number of cases (default 200)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default 0)"
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="collect every failure instead of stopping at the first",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_difftest(
+        examples=args.examples,
+        seed=args.seed,
+        stop_on_failure=not args.keep_going,
+    )
+    for outcome in report.failures:
+        print(format_outcome(outcome))
+    print(report.summary())
+    return 0 if report.clean else 1

@@ -1,0 +1,198 @@
+"""Translate the repro AST to SQLite's SQL dialect.
+
+The repro dialect is close enough to SQLite's that most nodes print
+verbatim; the differences this module bridges:
+
+* **ANY / ALL** — SQLite does not parse quantified comparisons, so they
+  are translated to their exact existential forms::
+
+      x op ANY (SELECT i FROM f WHERE w)
+          →  EXISTS (SELECT 1 FROM f WHERE w AND (x op i))
+      x op ALL (SELECT i FROM f WHERE w)
+          →  NOT EXISTS (SELECT 1 FROM f WHERE w
+                         AND ((x op i) IS NOT TRUE))
+
+  Both preserve SQL's three-valued semantics exactly: the ALL form
+  fails a row whenever some inner row makes ``x op i`` false *or
+  unknown*, which is precisely when three-valued ALL does not hold.
+
+* **null-safe equality** — our ``<=>`` becomes SQLite's ``IS``.
+
+* **identifiers** are double-quoted, so engine-generated names never
+  collide with SQLite keywords.
+
+Outer-join comparison markers (``=+``) have no SQLite spelling and
+raise :class:`SqliteUnsupported`; they only occur in transformed
+queries, which the differential tester never sends to SQLite.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    And,
+    Between,
+    BinaryArith,
+    ColumnRef,
+    Comparison,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    Quantified,
+    ScalarSubquery,
+    Select,
+    Star,
+    UnaryMinus,
+)
+
+
+class SqliteUnsupported(Exception):
+    """The AST has no faithful SQLite spelling."""
+
+
+def to_sqlite_sql(select: Select) -> str:
+    """Render a query block as SQLite SQL."""
+    return _select(select)
+
+
+def _ident(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _select(select: Select) -> str:
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in select.items:
+        rendered = _expr(item.expr)
+        if item.alias:
+            rendered += f" AS {_ident(item.alias)}"
+        items.append(rendered)
+    parts.append(", ".join(items))
+    if select.from_tables:
+        tables = []
+        for ref in select.from_tables:
+            rendered = _ident(ref.name)
+            if ref.alias:
+                rendered += f" AS {_ident(ref.alias)}"
+            tables.append(rendered)
+        parts.append("FROM " + ", ".join(tables))
+    if select.where is not None:
+        parts.append("WHERE " + _expr(select.where))
+    if select.group_by:
+        parts.append("GROUP BY " + ", ".join(_expr(e) for e in select.group_by))
+    if select.having is not None:
+        parts.append("HAVING " + _expr(select.having))
+    if select.order_by:
+        rendered = []
+        for item in select.order_by:
+            direction = "DESC" if item.descending else "ASC"
+            # The engine orders NULLs first ascending (and therefore
+            # last descending); make SQLite match explicitly.
+            nulls = "NULLS LAST" if item.descending else "NULLS FIRST"
+            rendered.append(f"{_expr(item.expr)} {direction} {nulls}")
+        parts.append("ORDER BY " + ", ".join(rendered))
+    return " ".join(parts)
+
+
+def _literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        raise SqliteUnsupported("the repro dialect has no boolean literals")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise SqliteUnsupported(f"cannot render literal {value!r}")
+
+
+def _expr(expr: Expr) -> str:
+    if isinstance(expr, Literal):
+        return _literal(expr.value)
+    if isinstance(expr, ColumnRef):
+        if expr.table:
+            return f"{_ident(expr.table)}.{_ident(expr.column)}"
+        return _ident(expr.column)
+    if isinstance(expr, Star):
+        return f"{_ident(expr.table)}.*" if expr.table else "*"
+    if isinstance(expr, UnaryMinus):
+        return f"(-{_expr(expr.operand)})"
+    if isinstance(expr, BinaryArith):
+        return f"({_expr(expr.left)} {expr.op} {_expr(expr.right)})"
+    if isinstance(expr, FuncCall):
+        arg = _expr(expr.arg)
+        if expr.distinct:
+            arg = f"DISTINCT {arg}"
+        return f"{expr.name}({arg})"
+    if isinstance(expr, ScalarSubquery):
+        return f"({_select(expr.query)})"
+    if isinstance(expr, Comparison):
+        if expr.outer is not None:
+            raise SqliteUnsupported(
+                "outer-join comparison markers have no SQLite spelling"
+            )
+        if expr.null_safe:
+            return f"({_expr(expr.left)} IS {_expr(expr.right)})"
+        return f"({_expr(expr.left)} {expr.op} {_expr(expr.right)})"
+    if isinstance(expr, IsNull):
+        op = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({_expr(expr.operand)} {op})"
+    if isinstance(expr, Between):
+        keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"({_expr(expr.operand)} {keyword} "
+            f"{_expr(expr.low)} AND {_expr(expr.high)})"
+        )
+    if isinstance(expr, InList):
+        if not expr.items:
+            raise SqliteUnsupported("empty IN list")
+        keyword = "NOT IN" if expr.negated else "IN"
+        rendered = ", ".join(_expr(item) for item in expr.items)
+        return f"({_expr(expr.operand)} {keyword} ({rendered}))"
+    if isinstance(expr, InSubquery):
+        keyword = "NOT IN" if expr.negated else "IN"
+        return f"({_expr(expr.operand)} {keyword} ({_select(expr.query)}))"
+    if isinstance(expr, Exists):
+        keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"({keyword} ({_select(expr.query)}))"
+    if isinstance(expr, Quantified):
+        return _quantified(expr)
+    if isinstance(expr, And):
+        return "(" + " AND ".join(_expr(op) for op in expr.operands) + ")"
+    if isinstance(expr, Or):
+        return "(" + " OR ".join(_expr(op) for op in expr.operands) + ")"
+    if isinstance(expr, Not):
+        return f"(NOT {_expr(expr.operand)})"
+    raise SqliteUnsupported(f"cannot render {type(expr).__name__}")
+
+
+def _quantified(expr: Quantified) -> str:
+    inner = expr.query
+    if inner.group_by or inner.having is not None:
+        raise SqliteUnsupported(
+            "quantified subqueries with GROUP BY/HAVING are not translated"
+        )
+    if len(inner.items) != 1 or isinstance(inner.items[0].expr, Star):
+        raise SqliteUnsupported("quantified subquery must select one item")
+    item = _expr(inner.items[0].expr)
+    operand = _expr(expr.operand)
+    tables = []
+    for ref in inner.from_tables:
+        rendered = _ident(ref.name)
+        if ref.alias:
+            rendered += f" AS {_ident(ref.alias)}"
+        tables.append(rendered)
+    base = f"SELECT 1 FROM {', '.join(tables)} WHERE "
+    guard = f"{_expr(inner.where)} AND " if inner.where is not None else ""
+    if expr.quantifier == "ANY":
+        body = f"{guard}({operand} {expr.op} {item})"
+        return f"(EXISTS ({base}{body}))"
+    body = f"{guard}(({operand} {expr.op} {item}) IS NOT TRUE)"
+    return f"(NOT EXISTS ({base}{body}))"

@@ -169,6 +169,17 @@ def _require_handler(context: EvalContext) -> SubqueryHandler:
 # ---------------------------------------------------------------------------
 
 
+def null_safe_equal(left: object, right: object) -> bool:
+    """Two-valued null-safe equality (``<=>`` / IS NOT DISTINCT FROM).
+
+    NULL <=> NULL is True, NULL <=> value is False; otherwise ordinary
+    equality.  Never returns unknown.
+    """
+    if left is None or right is None:
+        return left is None and right is None
+    return compare_values("=", left, right) is True
+
+
 def compare_values(op: str, left: object, right: object) -> bool | None:
     """Three-valued comparison of two scalar values.
 
@@ -247,6 +258,8 @@ def eval_predicate(expr: Expr, context: EvalContext) -> bool | None:
     if isinstance(expr, Comparison):
         left = eval_scalar(expr.left, context)
         right = eval_scalar(expr.right, context)
+        if expr.null_safe:
+            return null_safe_equal(left, right)
         return compare_values(expr.op, left, right)
     if isinstance(expr, IsNull):
         value = eval_scalar(expr.operand, context)

@@ -125,6 +125,8 @@ def merge_join(
     op: str = "=",
     mode: JoinMode = "inner",
     name: str | None = None,
+    null_safe: bool = False,
+    residual: Callable[[tuple], object] | None = None,
 ) -> Relation:
     """Sort-merge join; inputs must already be sorted on their keys.
 
@@ -137,15 +139,31 @@ def merge_join(
     ``mode="left"`` is the outer join of section 5.2: left tuples with
     no match appear once, NULL-padded on the right — the fix that lets
     COUNT see its empty groups.
+
+    ``null_safe=True`` (equi joins only) makes NULL keys join NULL keys
+    (``<=>`` semantics); both inputs sort NULLs first, so the merge
+    stays aligned.
+
+    ``residual`` is an extra predicate over the combined row, evaluated
+    *as part of the join condition*: a right row only counts as a match
+    when it returns True.  This matters for ``mode="left"`` — filtering
+    after an outer join would drop the NULL-padded rows (and fail to
+    NULL-pad left rows whose only key matches flunk the residual).
     """
     if op == "=":
-        generate = _merge_equi_join(left, right, list(left_key), list(right_key), mode)
+        generate = _merge_equi_join(
+            left, right, list(left_key), list(right_key), mode, null_safe, residual
+        )
     else:
         if len(left_key) != 1 or len(right_key) != 1:
             raise ExecutionError(
                 f"theta merge join ({op}) supports single-column keys only"
             )
-        generate = _merge_theta_join(left, right, left_key[0], right_key[0], op, mode)
+        if null_safe:
+            raise ExecutionError("null-safe merge join requires the = operator")
+        generate = _merge_theta_join(
+            left, right, left_key[0], right_key[0], op, mode, residual
+        )
 
     out_schema = left.schema + right.schema
     return Relation.materialize(out_schema, generate, buffer, name=name)
@@ -157,9 +175,11 @@ def _merge_equi_join(
     left_key: list[int],
     right_key: list[int],
     mode: JoinMode,
+    null_safe: bool = False,
+    residual: Callable[[tuple], object] | None = None,
 ) -> Iterator[tuple]:
     right_nulls = (None,) * len(right.schema)
-    right_groups = _group_iterator(iter(right), right_key)
+    right_groups = _group_iterator(iter(right), right_key, keep_nulls=null_safe)
     current_key: tuple | None = None
     current_group: list[tuple] = []
     exhausted = False
@@ -174,34 +194,37 @@ def _merge_equi_join(
                 current_group = []
 
     for left_row in left:
-        key = tuple(_orderable(left_row[i]) for i in left_key)
-        if any(left_row[i] is None for i in left_key):
+        if not null_safe and any(left_row[i] is None for i in left_key):
             if mode == "left":
                 yield left_row + right_nulls
             continue
+        key = tuple(_orderable(left_row[i]) for i in left_key)
         advance_right_to(key)
-        if (
-            not exhausted
-            and current_key == key
-            and all(left_row[i] is not None for i in left_key)
-        ):
+        matched = False
+        if not exhausted and current_key == key:
             for right_row in current_group:
-                yield left_row + right_row
-        elif mode == "left":
+                combined = left_row + right_row
+                if residual is not None and residual(combined) is not True:
+                    continue
+                matched = True
+                yield combined
+        if mode == "left" and not matched:
             yield left_row + right_nulls
 
 
 def _group_iterator(
-    rows: Iterator[tuple], key_columns: list[int]
+    rows: Iterator[tuple], key_columns: list[int], keep_nulls: bool = False
 ) -> Iterator[tuple[tuple, list[tuple]]]:
     """Yield ``(key, rows)`` groups from a key-sorted stream.
 
-    Rows whose key contains NULL are dropped: a NULL never equi-joins.
+    Rows whose key contains NULL are dropped unless ``keep_nulls``: a
+    NULL never equi-joins, but it does null-safe-join (NULLs sort first,
+    so a NULL group streams out ahead of every value group).
     """
     current_key: tuple | None = None
     group: list[tuple] = []
     for row in rows:
-        if any(row[i] is None for i in key_columns):
+        if not keep_nulls and any(row[i] is None for i in key_columns):
             continue
         key = tuple(_orderable(row[i]) for i in key_columns)
         if key != current_key:
@@ -221,6 +244,7 @@ def _merge_theta_join(
     right_key: int,
     op: str,
     mode: JoinMode,
+    residual: Callable[[tuple], object] | None = None,
 ) -> Iterator[tuple]:
     right_nulls = (None,) * len(right.schema)
     # One sequential read of the right input; kept sorted in memory.
@@ -237,8 +261,11 @@ def _merge_theta_join(
         matches = _theta_range(right_rows, right_keys, key, op)
         matched = False
         for right_row in matches:
+            combined = left_row + right_row
+            if residual is not None and residual(combined) is not True:
+                continue
             matched = True
-            yield left_row + right_row
+            yield combined
         if mode == "left" and not matched:
             yield left_row + right_nulls
 

@@ -202,7 +202,8 @@ class SingleLevelExecutor:
         left_quals = left.relation.schema.qualifiers
         right_quals = right.relation.schema.qualifiers
 
-        equi: list[tuple[ColumnRef, ColumnRef, str | None]] = []  # (l, r, outer)
+        # (l, r, outer, null_safe)
+        equi: list[tuple[ColumnRef, ColumnRef, str | None, bool]] = []
         theta: list[tuple[ColumnRef, str, ColumnRef, str | None]] = []
         other: list[Expr] = []
 
@@ -219,9 +220,9 @@ class SingleLevelExecutor:
             if normalized is None:
                 other.append(conjunct)
             else:
-                left_col, op, right_col, outer = normalized
+                left_col, op, right_col, outer, null_safe = normalized
                 if op == "=":
-                    equi.append((left_col, right_col, outer))
+                    equi.append((left_col, right_col, outer, null_safe))
                 else:
                     theta.append((left_col, op, right_col, outer))
 
@@ -255,31 +256,55 @@ class SingleLevelExecutor:
         return _State(joined, left.sorted_on)
 
     def _merge_equi(self, left, right, equi, theta, other) -> _State:
-        left_keys = [left.relation.schema.index_of(l) for l, _, _ in equi]
-        right_keys = [right.relation.schema.index_of(r) for _, r, _ in equi]
+        # Null-safe equalities can only serve as merge keys when *all*
+        # equi predicates are null-safe (keys share one NULL-handling
+        # regime); a mixed set keeps the regular keys and demotes the
+        # null-safe ones to the residual join condition.
+        null_safe = all(e[3] for e in equi)
+        key_equi = equi if null_safe else [e for e in equi if not e[3]]
+        residual_equi = [] if null_safe else [e for e in equi if e[3]]
+        if not key_equi:  # all null-safe was handled; can't happen otherwise
+            key_equi, residual_equi = equi, []
+        left_keys = [left.relation.schema.index_of(l) for l, _, _, _ in key_equi]
+        right_keys = [right.relation.schema.index_of(r) for _, r, _, _ in key_equi]
         mode = "left" if self._any_outer(equi, theta) else "inner"
 
+        residual_preds = (
+            [self._join_pred_expr(e) for e in residual_equi]
+            + [self._theta_pred_expr(t) for t in theta]
+            + other
+        )
         left_rel = self._ensure_sorted(left, tuple(left_keys))
         right_rel = self._ensure_sorted(right, tuple(right_keys))
         joined = merge_join(
             left_rel, right_rel, self.buffer,
             left_keys, right_keys, op="=", mode=mode, name="merge-join",
+            null_safe=null_safe,
+            residual=self._residual_callable(
+                make_and(residual_preds) if mode == "left" else None,
+                left_rel.schema + right_rel.schema,
+            ),
         )
         self._log(
             "merge join on "
-            + ", ".join(f"{l.qualified()} = {r.qualified()}" for l, r, _ in equi)
+            + ", ".join(
+                f"{l.qualified()} {'<=>' if ns else '='} {r.qualified()}"
+                for l, r, _, ns in key_equi
+            )
             + (" (left outer)" if mode == "left" else "")
         )
         state = _State(joined, tuple(left_keys))
-        residual = [self._theta_pred_expr(t) for t in theta] + other
-        return self._filter_state(state, make_and(residual))
+        if mode == "left":
+            return state  # residual already applied inside the join
+        return self._filter_state(state, make_and(residual_preds))
 
     def _merge_theta(self, left, right, theta, other) -> _State:
         left_col, op, right_col, outer = theta[0]
         left_key = left.relation.schema.index_of(left_col)
         right_key = right.relation.schema.index_of(right_col)
-        mode = "left" if outer is not None else "inner"
+        mode = "left" if self._any_outer([], theta) else "inner"
 
+        residual_preds = [self._theta_pred_expr(t) for t in theta[1:]] + other
         left_rel = self._ensure_sorted(left, (left_key,))
         right_rel = self._ensure_sorted(right, (right_key,))
         # merge_join's theta semantics are "right.key op left.key":
@@ -288,26 +313,43 @@ class SingleLevelExecutor:
         joined = merge_join(
             left_rel, right_rel, self.buffer,
             [left_key], [right_key], op=op, mode=mode, name="theta-join",
+            residual=self._residual_callable(
+                make_and(residual_preds) if mode == "left" else None,
+                left_rel.schema + right_rel.schema,
+            ),
         )
         self._log(
             f"theta merge join on {right_col.qualified()} {op} "
             f"{left_col.qualified()}" + (" (left outer)" if mode == "left" else "")
         )
         state = _State(joined, (left_key,))
-        residual = [self._theta_pred_expr(t) for t in theta[1:]] + other
-        return self._filter_state(state, make_and(residual))
+        if mode == "left":
+            return state
+        return self._filter_state(state, make_and(residual_preds))
+
+    def _residual_callable(self, predicate: Expr | None, schema: RowSchema):
+        """Wrap a predicate as a combined-row callable for merge_join."""
+        if predicate is None:
+            return None
+        from repro.engine.expression import EvalContext, eval_predicate
+
+        def check(combined: tuple):
+            return eval_predicate(predicate, EvalContext(combined, schema))
+
+        self._log(f"join residual: {to_sql(predicate)}")
+        return check
 
     def _normalize_join_pred(
         self, conjunct: Expr, left_quals: set[str]
-    ) -> tuple[ColumnRef, str, ColumnRef, str | None] | None:
+    ) -> tuple[ColumnRef, str, ColumnRef, str | None, bool] | None:
         """Normalize a column-op-column join predicate.
 
-        Returns ``(left_col, op, right_col, outer)`` where ``op`` is
-        oriented as ``right_col op left_col`` for theta operators (the
-        direction :func:`merge_join` expects) and ``outer`` preserves
-        the marked side ("left" always means: preserve the accumulated
-        left input).  Non-simple predicates return None (handled as
-        residual filters).
+        Returns ``(left_col, op, right_col, outer, null_safe)`` where
+        ``op`` is oriented as ``right_col op left_col`` for theta
+        operators (the direction :func:`merge_join` expects) and
+        ``outer`` preserves the marked side ("left" always means:
+        preserve the accumulated left input).  Non-simple predicates
+        return None (handled as residual filters).
         """
         if not isinstance(conjunct, Comparison):
             return None
@@ -327,10 +369,10 @@ class SingleLevelExecutor:
             # "right op' left", so mirror the operator.
             op = MIRRORED_OPS[conjunct.op]
             preserved = self._outer_mode(outer, marked_side=a_side)
-            return a, op, b, preserved
+            return a, op, b, preserved, conjunct.null_safe
         op = conjunct.op
         preserved = self._outer_mode(outer, marked_side=b_side)
-        return b, op, a, preserved
+        return b, op, a, preserved, conjunct.null_safe
 
     def _side_of(self, ref: ColumnRef, left_quals: set[str]) -> str:
         binding = ref.table if ref.table is not None else self._owner_of(ref.column)
@@ -364,8 +406,8 @@ class SingleLevelExecutor:
         )
 
     def _join_pred_expr(self, e) -> Expr:
-        left_col, right_col, _ = e
-        return Comparison(left_col, "=", right_col)
+        left_col, right_col, _, null_safe = e
+        return Comparison(left_col, "=", right_col, null_safe=null_safe)
 
     def _theta_pred_expr(self, t) -> Expr:
         left_col, op, right_col, _ = t
@@ -573,7 +615,7 @@ class SingleLevelExecutor:
             descending_flags.add(item.descending)
             if not isinstance(item.expr, ColumnRef):
                 raise PlanError("ORDER BY supports column references only")
-            positions.append(result.schema.index_of(item.expr))
+            positions.append(self._output_position(select, result, item.expr))
         if len(descending_flags) > 1:
             raise PlanError("mixed ASC/DESC ORDER BY is not supported")
         ordered = external_sort(result, positions, self.buffer, name="ordered")
@@ -584,6 +626,29 @@ class SingleLevelExecutor:
             )
             self._log("reverse for ORDER BY DESC")
         return ordered
+
+    def _output_position(
+        self, select: Select, result: Relation, ref: ColumnRef
+    ) -> int:
+        """Resolve an ORDER BY reference against the result schema.
+
+        The result columns are labelled with output names (alias or bare
+        column name, qualifier None), so a qualified reference like
+        ``T.A`` does not bind directly; fall back to matching the SELECT
+        item it names, then to the bare output column name.
+        """
+        position = result.schema.try_index_of(ref)
+        if position is not None:
+            return position
+        for index, item in enumerate(select.items):
+            if isinstance(item.expr, ColumnRef) and item.expr == ref:
+                return index
+        position = result.schema.try_index_of(ColumnRef(None, ref.column))
+        if position is not None:
+            return position
+        raise PlanError(
+            f"ORDER BY column {ref.qualified()} is not in the SELECT list"
+        )
 
     # -- misc ------------------------------------------------------------------
 

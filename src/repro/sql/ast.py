@@ -152,18 +152,26 @@ class Comparison(Expr):
             or ``"full"`` for the outer-join comparison of section 5.2
             (the paper writes it ``R.X =+ S.Y``).  Only meaningful when
             the comparison is used as a join predicate.
+        null_safe: True for the null-safe equality ``a <=> b`` (SQL's
+            IS NOT DISTINCT FROM): NULL <=> NULL is *true* and never
+            unknown.  NEST-JA2 emits it for the final COUNT-case join so
+            the zero-count groups preserved by the outer join are not
+            dropped again when the outer join column itself is NULL.
     """
 
     left: Expr
     op: str
     right: Expr
     outer: str | None = None
+    null_safe: bool = False
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_OPS:
             raise ValueError(f"invalid comparison operator {self.op!r}")
         if self.outer not in (None, "left", "right", "full"):
             raise ValueError(f"invalid outer-join marker {self.outer!r}")
+        if self.null_safe and self.op != "=":
+            raise ValueError("null_safe is only valid for the = operator")
 
 
 @dataclass(frozen=True)

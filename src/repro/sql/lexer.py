@@ -63,7 +63,7 @@ KEYWORDS = frozenset(
 )
 
 #: Multi-character operators, longest first so the scanner is greedy.
-_MULTI_CHAR_OPERATORS = ("<=", ">=", "<>", "!=", "!>", "!<", "=+", "+=")
+_MULTI_CHAR_OPERATORS = ("<=>", "<=", ">=", "<>", "!=", "!>", "!<", "=+", "+=")
 
 #: Single-character operators.
 _SINGLE_CHAR_OPERATORS = ("=", "<", ">", "+", "-", "*", "/")

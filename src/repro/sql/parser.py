@@ -296,6 +296,10 @@ class Parser:
                 self._advance()
                 right = self._addition()
                 return Comparison(left, "=", right, outer="left")
+            if op_token == "<=>":
+                self._advance()
+                right = self._addition()
+                return Comparison(left, "=", right, null_safe=True)
             op = NORMALIZED_OPS.get(op_token, op_token)
             if op in COMPARISON_OPS:
                 self._advance()

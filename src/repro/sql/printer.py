@@ -63,9 +63,17 @@ def to_sql_pretty(node: Node, indent: int = 0) -> str:
         f"{pad}FROM " + ", ".join(_table_ref(ref) for ref in node.from_tables)
     )
     if node.where is not None:
-        from repro.sql.ast import conjuncts
+        from repro.sql.ast import And
 
-        parts = conjuncts(node.where)
+        # Split only the *immediate* operands: recursively flattening
+        # (``conjuncts``) would erase parenthesized nested ANDs and the
+        # output would no longer re-parse to the same AST.  A nested
+        # And operand is rendered parenthesized by ``_boolean_operand``.
+        parts = (
+            list(node.where.operands)
+            if isinstance(node.where, And)
+            else [node.where]
+        )
         rendered = [_pretty_predicate(part, indent) for part in parts]
         lines.append(f"{pad}WHERE " + f"\n{pad}  AND ".join(rendered))
     if node.group_by:
@@ -168,6 +176,8 @@ def _expr(expr: Expr) -> str:
         op = expr.op
         if expr.outer is not None:
             op = f"{op}+"
+        elif expr.null_safe:
+            op = "<=>"
         return f"{_operand(expr.left)} {op} {_operand(expr.right)}"
     if isinstance(expr, IsNull):
         middle = "IS NOT NULL" if expr.negated else "IS NULL"

@@ -148,7 +148,9 @@ def _qualify_expr(
     if isinstance(expr, ScalarSubquery):
         return ScalarSubquery(fix_block(expr.query))
     if isinstance(expr, Comparison):
-        return Comparison(fix(expr.left), expr.op, fix(expr.right), expr.outer)
+        return Comparison(
+            fix(expr.left), expr.op, fix(expr.right), expr.outer, expr.null_safe
+        )
     if isinstance(expr, IsNull):
         return IsNull(fix(expr.operand), expr.negated)
     if isinstance(expr, InList):

@@ -71,9 +71,11 @@ class TestAlgorithmShape:
             "SELECT TEMP1.C1 AS C1, COUNT(TEMP2.VAL) AS CAGG "
             "FROM TEMP1, TEMP2 WHERE TEMP1.C1 =+ TEMP2.J1 GROUP BY TEMP1.C1"
         )
-        # The rewritten inner block joins on equality.
+        # The rewritten inner block joins on equality — *null-safe*
+        # equality for COUNT, so a TEMP3 group formed for a NULL outer
+        # value (with CAGG = 0) still matches its outer row.
         assert to_sql(result.query) == (
-            "SELECT TEMP3.CAGG AS CAGG FROM TEMP3 WHERE TEMP3.C1 = PARTS.PNUM"
+            "SELECT TEMP3.CAGG AS CAGG FROM TEMP3 WHERE TEMP3.C1 <=> PARTS.PNUM"
         )
 
     def test_count_star_counts_the_join_column(self):
@@ -108,6 +110,43 @@ class TestAlgorithmShape:
         ).replace("WHERE QOH =", "WHERE QOH > -1 AND QOH =")
         result = transform_inner(catalog, sql)
         assert "WHERE QOH > -1" in to_sql(result.setup[0].query)
+
+    def test_ambiguous_unqualified_predicates_are_not_hoisted(self):
+        """Step 1 mines only predicates provably local to the outer
+        relation: an unqualified column exposed by *another* FROM entry
+        of the outer block may belong to that other table, and hoisting
+        it would restrict the wrong relation."""
+        catalog = fresh_catalog()
+        catalog.create_table(schema("T", "K", "V"))
+        catalog.create_table(schema("W", "V", "X"))
+        catalog.create_table(schema("U", "K2", "W2"))
+        sql = (
+            "SELECT T.K FROM T, W "
+            "WHERE V > 1 AND X > 0 AND K > 0 AND "
+            "T.V = (SELECT MAX(W2) FROM U WHERE U.K2 = T.K)"
+        )
+        result = transform_inner(catalog, sql, outer_tables={"T": "T", "W": "W"})
+        temp1_sql = to_sql(result.setup[0].query)
+        # K resolves only on T → hoisted; V is ambiguous (T and W both
+        # expose it) and X belongs to W → neither may restrict TEMP1.
+        assert "K > 0" in temp1_sql
+        assert "V > 1" not in temp1_sql
+        assert "X > 0" not in temp1_sql
+
+    def test_qualified_outer_predicates_are_hoisted_despite_ambiguity(self):
+        catalog = fresh_catalog()
+        catalog.create_table(schema("T", "K", "V"))
+        catalog.create_table(schema("W", "V", "X"))
+        catalog.create_table(schema("U", "K2", "W2"))
+        sql = (
+            "SELECT T.K FROM T, W "
+            "WHERE T.V > 1 AND W.V > 2 AND "
+            "T.K = (SELECT MAX(W2) FROM U WHERE U.K2 = T.K)"
+        )
+        result = transform_inner(catalog, sql, outer_tables={"T": "T", "W": "W"})
+        temp1_sql = to_sql(result.setup[0].query)
+        assert "T.V > 1" in temp1_sql
+        assert "W.V > 2" not in temp1_sql
 
     def test_unqualified_outer_reference_rejected(self):
         catalog = fresh_catalog()

@@ -65,8 +65,33 @@ class TestRewriteShapes:
         ],
     )
     def test_quantifier_table(self, op, quant, agg):
-        out = rewrite(f"SELECT A FROM T WHERE A {op} {quant} (SELECT B FROM U)")
+        out = rewrite(
+            f"SELECT A FROM T WHERE A {op} {quant} (SELECT B FROM U)",
+            quantifier_mode="paper",
+        )
         assert f"A {op} (SELECT {agg}(B) AS AGG FROM U)" in out
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "=", "<>"])
+    def test_exact_any_counts_matches(self, op):
+        sql = f"SELECT A FROM T WHERE A {op} ANY (SELECT B FROM U WHERE B > 0)"
+        if op == "=":  # normalized to IN by the parser
+            return
+        out = rewrite(sql)
+        assert (
+            f"0 < (SELECT COUNT(*) AS CNT FROM U WHERE B > 0 AND A {op} B)"
+            in out
+        )
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "="])
+    def test_exact_all_compares_counts(self, op):
+        out = rewrite(
+            f"SELECT A FROM T WHERE A {op} ALL (SELECT B FROM U WHERE B > 0)"
+        )
+        assert (
+            "(SELECT COUNT(*) AS CNT FROM U WHERE B > 0) = "
+            f"(SELECT COUNT(*) AS CNT FROM U WHERE B > 0 AND A {op} B)"
+            in out
+        )
 
     def test_eq_any_is_already_in(self):
         out = rewrite("SELECT A FROM T WHERE A = ANY (SELECT B FROM U)")
@@ -76,9 +101,15 @@ class TestRewriteShapes:
         out = rewrite("SELECT A FROM T WHERE A <> ALL (SELECT B FROM U)")
         assert "NOT IN (SELECT B FROM U)" in out
 
-    def test_eq_all_has_no_transformation(self):
+    def test_eq_all_has_no_paper_transformation(self):
+        """= ALL has no MIN/MAX form; the exact counting rewrite covers it."""
         with pytest.raises(TransformError):
-            rewrite("SELECT A FROM T WHERE A = ALL (SELECT B FROM U)")
+            rewrite(
+                "SELECT A FROM T WHERE A = ALL (SELECT B FROM U)",
+                quantifier_mode="paper",
+            )
+        out = rewrite("SELECT A FROM T WHERE A = ALL (SELECT B FROM U)")
+        assert "COUNT(*)" in out
 
     def test_rewrite_recurses_into_nested_blocks(self):
         out = rewrite(
@@ -88,9 +119,19 @@ class TestRewriteShapes:
         assert "0 < (SELECT COUNT(*) AS CNT FROM V" in out
 
     def test_archaic_negated_operators(self):
-        out = rewrite("SELECT A FROM T WHERE A !> ALL (SELECT B FROM U)")
+        out = rewrite(
+            "SELECT A FROM T WHERE A !> ALL (SELECT B FROM U)",
+            quantifier_mode="paper",
+        )
         # !> normalizes to <=; <= ALL → MIN.
         assert "A <= (SELECT MIN(B) AS AGG FROM U)" in out
+
+    def test_unknown_quantifier_mode_rejected(self):
+        with pytest.raises(TransformError):
+            rewrite(
+                "SELECT A FROM T WHERE A < ALL (SELECT B FROM U)",
+                quantifier_mode="bogus",
+            )
 
 
 class TestEndToEndEquivalence:
@@ -138,7 +179,11 @@ class TestEndToEndEquivalence:
 
 
 class TestDocumentedDivergences:
-    """Where the paper's rewrites change semantics — asserted, not hidden."""
+    """Where the paper's rewrites change semantics — asserted, not hidden.
+
+    Each paper-mode divergence is paired with the exact-mode (default)
+    counting rewrite, which must agree with nested iteration.
+    """
 
     def setup_method(self):
         self.catalog = fresh_catalog()
@@ -149,11 +194,13 @@ class TestDocumentedDivergences:
         """x < ALL (∅) is true; x < MIN(∅)=NULL is unknown."""
         self.catalog.insert("T", [(1,)])
         sql = "SELECT A FROM T WHERE A < ALL (SELECT B FROM U)"
-        engine = Engine(self.catalog)
-        ni = engine.run(sql, method="nested_iteration")
-        tr = engine.run(sql, method="transform")
+        paper = Engine(self.catalog, quantifier_mode="paper")
+        ni = paper.run(sql, method="nested_iteration")
+        tr = paper.run(sql, method="transform")
         assert ni.result.rows == [(1,)]  # vacuous truth
         assert tr.result.rows == []      # NULL comparison: unknown
+        exact = Engine(self.catalog)
+        assert exact.run(sql, method="transform").result.rows == [(1,)]
 
     def test_any_over_empty_set_agrees(self):
         """x < ANY (∅) is false; x < MAX(∅)=NULL is unknown — both
@@ -161,21 +208,42 @@ class TestDocumentedDivergences:
         values differ."""
         self.catalog.insert("T", [(1,)])
         sql = "SELECT A FROM T WHERE A < ANY (SELECT B FROM U)"
-        engine = Engine(self.catalog)
-        ni = engine.run(sql, method="nested_iteration")
-        tr = engine.run(sql, method="transform")
-        assert ni.result.rows == tr.result.rows == []
+        for engine in (
+            Engine(self.catalog, quantifier_mode="paper"),
+            Engine(self.catalog),
+        ):
+            ni = engine.run(sql, method="nested_iteration")
+            tr = engine.run(sql, method="transform")
+            assert ni.result.rows == tr.result.rows == []
 
     def test_null_in_inner_column_diverges_for_all(self):
         """ALL over a set containing NULL is unknown; MIN ignores NULLs."""
         self.catalog.insert("T", [(1,)])
         self.catalog.insert("U", [(5,), (None,)])
         sql = "SELECT A FROM T WHERE A < ALL (SELECT B FROM U)"
-        engine = Engine(self.catalog)
-        ni = engine.run(sql, method="nested_iteration")
-        tr = engine.run(sql, method="transform")
+        paper = Engine(self.catalog, quantifier_mode="paper")
+        ni = paper.run(sql, method="nested_iteration")
+        tr = paper.run(sql, method="transform")
         assert ni.result.rows == []      # 1 < NULL is unknown → reject
         assert tr.result.rows == [(1,)]  # MIN ignores the NULL: 1 < 5
+        exact = Engine(self.catalog)
+        assert exact.run(sql, method="transform").result.rows == []
+
+    def test_null_operand_rejected_unless_empty_for_all(self):
+        """NULL x: x op ALL (Q) is unknown unless Q is empty (vacuous)."""
+        self.catalog.insert("T", [(None,)])
+        self.catalog.insert("U", [(5,)])
+        sql = "SELECT A FROM T WHERE A < ALL (SELECT B FROM U)"
+        exact = Engine(self.catalog)
+        assert exact.run(sql, method="nested_iteration").result.rows == []
+        assert exact.run(sql, method="transform").result.rows == []
+
+    def test_null_operand_vacuous_all_over_empty_set(self):
+        self.catalog.insert("T", [(None,)])
+        sql = "SELECT A FROM T WHERE A < ALL (SELECT B FROM U)"
+        exact = Engine(self.catalog)
+        assert exact.run(sql, method="nested_iteration").result.rows == [(None,)]
+        assert exact.run(sql, method="transform").result.rows == [(None,)]
 
     def test_exists_paper_mode_diverges_on_null_column(self):
         """COUNT(B) ignores NULLs, so the paper-literal EXISTS rewrite

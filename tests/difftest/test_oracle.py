@@ -1,0 +1,89 @@
+"""SQLite oracle export/run and result-bag normalization."""
+
+from collections import Counter
+
+import pytest
+
+from repro.difftest.normalize import NULL_MARKER, normalize_rows, normalize_value
+from repro.difftest.oracle import SQLiteOracle
+from repro.workloads.paper_data import fresh_catalog, load_kiessling_instance
+from repro.catalog.schema import schema
+from repro.sql.parser import parse
+
+
+class TestOracle:
+    def test_exports_base_tables_and_runs(self):
+        catalog = load_kiessling_instance()
+        with SQLiteOracle(catalog) as oracle:
+            rows = oracle.run("SELECT PNUM, QOH FROM PARTS ORDER BY PNUM")
+        assert rows == [(3, 6), (8, 0), (10, 1)]
+
+    def test_nulls_round_trip(self):
+        catalog = fresh_catalog()
+        catalog.create_table(schema("T", "A"))
+        catalog.insert("T", [(None,), (1,)])
+        with SQLiteOracle(catalog) as oracle:
+            rows = oracle.run(parse("SELECT A FROM T"))
+        assert Counter(rows) == Counter([(None,), (1,)])
+
+    def test_temp_tables_are_not_exported(self):
+        catalog = load_kiessling_instance()
+        from repro.core.pipeline import Engine
+
+        engine = Engine(catalog)
+        # Materialize temps, then leave them registered.
+        transform = engine.transform(
+            "SELECT PNUM FROM PARTS WHERE QOH = "
+            "(SELECT COUNT(SHIPDATE) FROM SUPPLY "
+            " WHERE SUPPLY.PNUM = PARTS.PNUM)"
+        )
+        from tests.core.helpers import build_temps
+
+        build_temps(catalog, transform)
+        with SQLiteOracle(catalog) as oracle:
+            tables = {
+                name
+                for (name,) in oracle.run(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+        assert tables == {"PARTS", "SUPPLY"}
+        catalog.drop_temp_tables()
+
+    def test_oracle_matches_engine_on_a_nested_query(self):
+        catalog = load_kiessling_instance()
+        sql = (
+            "SELECT PNUM FROM PARTS WHERE QOH = "
+            "(SELECT COUNT(SHIPDATE) FROM SUPPLY "
+            " WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1980-01-01')"
+        )
+        from repro.core.pipeline import Engine
+
+        engine = Engine(catalog)
+        ni = engine.run(sql, method="nested_iteration")
+        with SQLiteOracle(catalog) as oracle:
+            reference = oracle.run(parse(sql))
+        assert normalize_rows(ni.result.rows) == normalize_rows(reference)
+
+
+class TestNormalize:
+    def test_null_marker(self):
+        assert normalize_value(None) == NULL_MARKER
+
+    def test_int_float_coercion(self):
+        assert normalize_value(2) == normalize_value(2.0)
+
+    def test_float_rounding_noise_absorbed(self):
+        assert normalize_value(0.1 + 0.2) == normalize_value(0.3)
+
+    def test_strings_distinct_from_numbers(self):
+        assert normalize_value("1") != normalize_value(1)
+
+    def test_multiset_counts_duplicates(self):
+        bag = normalize_rows([(1, None), (1, None), (2, 3)])
+        assert bag[(("NUM", 1.0), NULL_MARKER)] == 2
+        assert sum(bag.values()) == 3
+
+    def test_unexpected_type_raises(self):
+        with pytest.raises(TypeError):
+            normalize_value(object())

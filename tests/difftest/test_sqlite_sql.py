@@ -1,0 +1,101 @@
+"""AST → SQLite translation, including the quantifier EXISTS forms."""
+
+import sqlite3
+
+import pytest
+
+from repro.difftest.sqlite_sql import SqliteUnsupported, to_sqlite_sql
+from repro.sql.ast import ColumnRef, Comparison, Literal, Select, SelectItem, TableRef
+from repro.sql.parser import parse
+
+
+def tr(sql):
+    return to_sqlite_sql(parse(sql))
+
+
+class TestPlainShapes:
+    def test_simple_select(self):
+        out = tr("SELECT A, B FROM T WHERE A = 1")
+        assert out == 'SELECT "A", "B" FROM "T" WHERE ("A" = 1)'
+
+    def test_alias_and_qualifiers(self):
+        out = tr("SELECT X.A FROM T X WHERE X.A IS NOT NULL")
+        assert '"T" AS "X"' in out
+        assert '("X"."A" IS NOT NULL)' in out
+
+    def test_null_literal_and_strings(self):
+        out = tr("SELECT A FROM T WHERE B = 'it''s' AND A <> 2")
+        assert "'it''s'" in out
+
+    def test_aggregates_and_distinct(self):
+        out = tr("SELECT COUNT(DISTINCT A) FROM T")
+        assert 'COUNT(DISTINCT "A")' in out
+        assert "COUNT(*)" in tr("SELECT COUNT(*) FROM T")
+
+    def test_group_by_having_order_by(self):
+        out = tr(
+            "SELECT A, SUM(B) FROM T GROUP BY A HAVING SUM(B) > 1 ORDER BY A"
+        )
+        assert 'GROUP BY "A"' in out
+        assert 'HAVING (SUM("B") > 1)' in out
+        assert 'ORDER BY "A" ASC NULLS FIRST' in out
+
+    def test_order_by_desc_nulls_last(self):
+        out = tr("SELECT A FROM T ORDER BY A DESC")
+        assert 'ORDER BY "A" DESC NULLS LAST' in out
+
+    def test_exists_and_in(self):
+        out = tr(
+            "SELECT A FROM T WHERE EXISTS (SELECT B FROM U WHERE U.B = T.A)"
+        )
+        assert "EXISTS (SELECT" in out
+        out = tr("SELECT A FROM T WHERE A NOT IN (SELECT B FROM U)")
+        assert "NOT IN (SELECT" in out
+
+
+class TestQuantifiers:
+    def test_any_becomes_exists(self):
+        out = tr("SELECT A FROM T WHERE A < ANY (SELECT B FROM U WHERE B > 0)")
+        assert (
+            '(EXISTS (SELECT 1 FROM "U" WHERE ("B" > 0) AND ("A" < "B")))'
+            in out
+        )
+
+    def test_all_becomes_not_exists_is_not_true(self):
+        out = tr("SELECT A FROM T WHERE A < ALL (SELECT B FROM U)")
+        assert (
+            '(NOT EXISTS (SELECT 1 FROM "U" WHERE (("A" < "B") IS NOT TRUE)))'
+            in out
+        )
+
+    def test_quantifier_forms_run_in_sqlite(self):
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE T (A)")
+        connection.execute("CREATE TABLE U (B)")
+        connection.executemany("INSERT INTO T VALUES (?)", [(1,), (None,)])
+        connection.executemany("INSERT INTO U VALUES (?)", [(2,), (None,)])
+        # ALL with a NULL item: unknown → rejected for every T row.
+        rows = connection.execute(
+            tr("SELECT A FROM T WHERE A < ALL (SELECT B FROM U)")
+        ).fetchall()
+        assert rows == []
+        # ANY: 1 < 2 is true; NULL operand is unknown → rejected.
+        rows = connection.execute(
+            tr("SELECT A FROM T WHERE A < ANY (SELECT B FROM U)")
+        ).fetchall()
+        assert rows == [(1,)]
+
+
+class TestNullSafeAndUnsupported:
+    def test_null_safe_equality_uses_is(self):
+        out = tr("SELECT A FROM T WHERE A <=> B")
+        assert '("A" IS "B")' in out
+
+    def test_outer_marker_unsupported(self):
+        select = Select(
+            items=(SelectItem(ColumnRef("T", "A")),),
+            from_tables=(TableRef("T"),),
+            where=Comparison(ColumnRef("T", "A"), "=", Literal(1), outer="left"),
+        )
+        with pytest.raises(SqliteUnsupported):
+            to_sqlite_sql(select)

@@ -54,16 +54,9 @@ class TestPrettyPrinter:
     @given(block=selects())
     @settings(max_examples=80, deadline=None)
     def test_pretty_roundtrip_property(self, block):
-        """Pretty output re-parses to the same AST for conjunction-
-        flattened trees.  (The pretty printer lays the WHERE clause out
-        one conjunct per line, which flattens hand-built nested ANDs;
-        parenthesized nesting is a compact-printer-only artifact.)"""
-        from dataclasses import replace
-
-        from repro.sql.ast import conjuncts, make_and
-
-        flattened = replace(block, where=make_and(conjuncts(block.where)))
-        normalized = parse(to_sql(flattened))
+        """Pretty output re-parses to the same AST — including nested
+        ANDs (parenthesized on the conjunct line), at any block depth."""
+        normalized = parse(to_sql(block))
         assert parse(to_sql_pretty(normalized)) == normalized
 
     def test_explain_uses_pretty_form(self):

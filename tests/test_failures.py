@@ -163,11 +163,11 @@ class TestStorageFailures:
         db = make_db()
         with pytest.raises(CatalogError):
             db.insert("T", [(5, 6), ("bad", 0)])
-        # The first row of the failed batch was appended before the
-        # error (no transactions in this engine — documented), but the
-        # table remains scannable and consistent.
-        result = db.query("SELECT A FROM T WHERE A = 5")
-        assert result.rows in ([], [(5,)])
+        # The batch is atomic: validation runs over every row before
+        # any row is appended, so nothing from the failed batch lands —
+        # not even the valid (5, 6) that preceded the bad row.
+        result = db.query("SELECT A FROM T")
+        assert result.rows == [(1,), (3,)]
 
     def test_drop_missing_table(self):
         db = make_db()
