@@ -1,15 +1,17 @@
-"""The three-way differential comparison and its CLI.
+"""The differential comparison and its CLI.
 
-For every generated case the runner executes the query three ways —
+For every generated case the runner executes the query several ways —
 
 1. ``nested_iteration`` (System R semantics, the repo's baseline),
-2. ``transform``        (NEST-G with the paper's algorithms), and
+2. ``transform``        (NEST-G with the paper's algorithms), once per
+   join method (merge, nested, hash by default — the transform legs
+   are named ``transform[merge]`` etc.), and
 3. SQLite               (the external reference oracle)
 
 — normalizes each result to a multiset, and demands agreement.  The
-transform leg is skipped (not failed) when the query is outside the
+transform legs are skipped (not failed) when the query is outside the
 algorithms' documented reach (``TransformError``, e.g. correlated
-NOT IN); the other two legs must still agree.
+NOT IN); the other legs must still agree.
 
 The engine runs with ``dedupe_inner=True, dedupe_outer=True``: the
 paper-faithful defaults reproduce Kim's Lemma-1 multiplicity caveat by
@@ -42,9 +44,13 @@ from repro.errors import TransformError
 from repro.sql.parser import parse
 
 
+#: The transform leg runs once per join method by default.
+JOIN_METHODS = ("merge", "nested", "hash")
+
+
 @dataclass
 class CaseOutcome:
-    """Result of running one case through all three engines."""
+    """Result of running one case through every engine leg."""
 
     case: Case
     status: str  # "ok" | "divergence" | "error"
@@ -57,8 +63,10 @@ class CaseOutcome:
         return self.status != "ok"
 
 
-def run_case(case: Case) -> CaseOutcome:
-    """Execute one case three ways and compare normalized bags."""
+def run_case(
+    case: Case, join_methods: tuple[str, ...] = JOIN_METHODS
+) -> CaseOutcome:
+    """Execute one case every way and compare normalized bags."""
     catalog = case.build_catalog()
     try:
         select = parse(case.sql)
@@ -83,20 +91,27 @@ def run_case(case: Case) -> CaseOutcome:
         )
 
     transform_skipped = False
-    try:
-        tr = engine.run(select, method="transform")
-        results["transform"] = normalize_rows(tr.result.rows)
-    except TransformError as exc:
-        transform_skipped = True
-        detail_skip = str(exc)
-    except Exception as exc:
-        return CaseOutcome(
-            case, "error", detail=f"transform: {exc}", results=results
-        )
+    detail_skip = ""
+    for join_method in join_methods:
+        engine.join_method = join_method
+        leg = f"transform[{join_method}]"
+        try:
+            tr = engine.run(select, method="transform")
+            results[leg] = normalize_rows(tr.result.rows)
+        except TransformError as exc:
+            # The rewrite itself is join-method independent: one skip
+            # means they all skip.
+            transform_skipped = True
+            detail_skip = str(exc)
+            break
+        except Exception as exc:
+            return CaseOutcome(
+                case, "error", detail=f"{leg}: {exc}", results=results
+            )
 
     reference = results["sqlite"]
-    for leg in ("nested_iteration", "transform"):
-        if leg in results and results[leg] != reference:
+    for leg, bag in results.items():
+        if leg != "sqlite" and bag != reference:
             return CaseOutcome(
                 case,
                 "divergence",
@@ -139,6 +154,7 @@ def run_difftest(
     seed: int = 0,
     stop_on_failure: bool = True,
     minimize: bool = True,
+    join_methods: tuple[str, ...] = JOIN_METHODS,
 ) -> Report:
     """Generate and check ``examples`` cases; minimize any failure."""
     from repro.difftest.minimize import minimize_case
@@ -147,7 +163,7 @@ def run_difftest(
     report = Report()
     for index in range(examples):
         case = generator.case(index)
-        outcome = run_case(case)
+        outcome = run_case(case, join_methods)
         report.examples += 1
         if outcome.status == "ok":
             report.ok += 1
@@ -155,10 +171,12 @@ def run_difftest(
                 report.transform_skipped += 1
             continue
         if minimize:
-            shrunk = minimize_case(case, lambda c: run_case(c).failed)
-            outcome = run_case(shrunk)
+            shrunk = minimize_case(
+                case, lambda c: run_case(c, join_methods).failed
+            )
+            outcome = run_case(shrunk, join_methods)
             if not outcome.failed:  # pragma: no cover - shrinker invariant
-                outcome = run_case(case)
+                outcome = run_case(case, join_methods)
         report.failures.append(outcome)
         if stop_on_failure:
             break
@@ -205,12 +223,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="collect every failure instead of stopping at the first",
     )
+    parser.add_argument(
+        "--join-methods",
+        default=",".join(JOIN_METHODS),
+        help="comma-separated join methods for the transform legs "
+        f"(default: {','.join(JOIN_METHODS)})",
+    )
     args = parser.parse_args(argv)
 
+    join_methods = tuple(
+        method.strip()
+        for method in args.join_methods.split(",")
+        if method.strip()
+    )
     report = run_difftest(
         examples=args.examples,
         seed=args.seed,
         stop_on_failure=not args.keep_going,
+        join_methods=join_methods,
     )
     for outcome in report.failures:
         print(format_outcome(outcome))

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
 from repro.engine.aggregate import compute_aggregate
+from repro.engine.compile import try_compile_predicate, try_compile_scalar
 from repro.engine.expression import (
     EvalContext,
     SubqueryHandler,
@@ -36,8 +37,8 @@ from repro.engine.expression import (
 from repro.engine.relation import Relation
 from repro.engine.schema import RowSchema
 from repro.engine.sort import _orderable
-from repro.errors import CardinalityError, ExecutionError
-from repro.sql.analysis import is_correlated
+from repro.errors import BindError, CardinalityError, ExecutionError
+from repro.sql.analysis import is_correlated, outer_references
 from repro.sql.ast import (
     ColumnRef,
     Expr,
@@ -45,6 +46,7 @@ from repro.sql.ast import (
     Select,
     SelectItem,
     Star,
+    conjuncts,
     contains_aggregate,
 )
 from repro.sql.printer import to_sql
@@ -79,13 +81,24 @@ class NestedIterationExecutor(SubqueryHandler):
         catalog: Catalog,
         materialize_uncorrelated: bool = True,
         use_indexes: bool = True,
+        memoize_correlated: bool = True,
     ) -> None:
         self.catalog = catalog
         self.materialize_uncorrelated = materialize_uncorrelated
         self.use_indexes = use_indexes
+        self.memoize_correlated = memoize_correlated
         self._scalar_cache: dict[int, object] = {}
         self._column_cache: dict[int, Relation | list[object]] = {}
         self._index_plans: dict[int, object] = {}
+        # Compiled-evaluation plans, keyed on AST node identity (the
+        # plan lists hold the nodes, keeping their ids stable).
+        self._where_plans: dict[int, list] = {}
+        self._item_plans: dict[int, list] = {}
+        self._scalar_plans: dict[int, object] = {}
+        # Correlated-subquery memo: (kind, id(query), outer values) →
+        # result, plus the per-query list of referenced outer columns.
+        self._outer_ref_plans: dict[int, object] = {}
+        self._corr_memo: dict[tuple, object] = {}
 
     # -- public API ------------------------------------------------------
 
@@ -94,6 +107,11 @@ class NestedIterationExecutor(SubqueryHandler):
         self._scalar_cache.clear()
         self._column_cache.clear()
         self._index_plans.clear()
+        self._where_plans.clear()
+        self._item_plans.clear()
+        self._scalar_plans.clear()
+        self._outer_ref_plans.clear()
+        self._corr_memo.clear()
         try:
             schema, rows = self._execute_block(select, outer=None)
         finally:
@@ -107,6 +125,9 @@ class NestedIterationExecutor(SubqueryHandler):
         correlated = self._is_correlated(query)
         if not correlated and id(query) in self._scalar_cache:
             return self._scalar_cache[id(query)]
+        memo_key = self._memo_key("scalar", query, context) if correlated else None
+        if memo_key is not None and memo_key in self._corr_memo:
+            return self._corr_memo[memo_key]
         _, rows = self._execute_block(query, outer=None if not correlated else context)
         if rows and len(rows[0]) != 1:
             raise ExecutionError("scalar subquery must select one column")
@@ -117,6 +138,8 @@ class NestedIterationExecutor(SubqueryHandler):
         value = rows[0][0] if rows else None
         if not correlated:
             self._scalar_cache[id(query)] = value
+        elif memo_key is not None:
+            self._corr_memo[memo_key] = value
         return value
 
     def column(self, query: Select, context: EvalContext | None) -> list[object]:
@@ -143,15 +166,72 @@ class NestedIterationExecutor(SubqueryHandler):
             if isinstance(cached, Relation):
                 return [row[0] for row in cached]
             return list(cached)
+        memo_key = self._memo_key("column", query, context)
+        if memo_key is not None and memo_key in self._corr_memo:
+            return self._corr_memo[memo_key]
         _, rows = self._execute_block(query, outer=context)
         if rows and len(rows[0]) != 1:
             raise ExecutionError("IN subquery must select one column")
-        return [row[0] for row in rows]
+        values = [row[0] for row in rows]
+        if memo_key is not None:
+            self._corr_memo[memo_key] = values
+        return values
 
     def exists(self, query: Select, context: EvalContext | None) -> bool:
         correlated = self._is_correlated(query)
+        memo_key = self._memo_key("exists", query, context) if correlated else None
+        if memo_key is not None and memo_key in self._corr_memo:
+            return self._corr_memo[memo_key]
         _, rows = self._execute_block(query, outer=context if correlated else None)
-        return bool(rows)
+        found = bool(rows)
+        if memo_key is not None:
+            self._corr_memo[memo_key] = found
+        return found
+
+    def _memo_key(
+        self, kind: str, query: Select, context: EvalContext | None
+    ) -> tuple | None:
+        """Memo key for a correlated block: the *values* of the outer
+        columns it references.  Two outer tuples that agree on those
+        columns get the same inner result, so the inner block runs once
+        per distinct combination instead of once per outer tuple.
+
+        Returns None (no memoization) when disabled, when the block's
+        outer references cannot be enumerated, or when one of them does
+        not resolve in the given context.
+        """
+        if not self.memoize_correlated or context is None:
+            return None
+        refs = self._outer_ref_plans.get(id(query))
+        if refs is None:
+            refs = self._outer_ref_plan(query)
+            self._outer_ref_plans[id(query)] = refs
+        if refs is False:
+            return None
+        try:
+            values = tuple(context.resolve(ref) for ref in refs)
+        except BindError:
+            return None
+        return (kind, id(query), values)
+
+    def _outer_ref_plan(self, query: Select):
+        """The distinct outer columns a correlated block references."""
+
+        def has_column(binding: str, column: str) -> bool:
+            if self.catalog.has_table(binding):
+                return self.catalog.schema_of(binding).has_column(column)
+            return False
+
+        all_bindings = tuple(self.catalog.table_names())
+        try:
+            refs = outer_references(query, has_column, all_bindings)
+        except Exception:
+            return False
+        distinct: list[ColumnRef] = []
+        for ref in refs:
+            if ref not in distinct:
+                distinct.append(ref)
+        return distinct
 
     # -- block evaluation --------------------------------------------------
 
@@ -189,12 +269,48 @@ class NestedIterationExecutor(SubqueryHandler):
         indexed = self._indexed_rows(select, schema, outer)
         if indexed is not None:
             return indexed
+        plan = self._where_plan(select, schema, outer)
         rows: list[tuple] = []
         for combined in self._from_rows(select, 0, ()):
-            context = EvalContext(combined, schema, outer, subquery_handler=self)
-            if select.where is None or eval_predicate(select.where, context) is True:
+            context: EvalContext | None = None
+            keep: bool | None = True
+            # Conjuncts evaluated in predicate order, stopping on the
+            # first False — exactly the interpreter's AND semantics, so
+            # mixing compiled and interpreted conjuncts changes nothing.
+            for conjunct, compiled in plan:
+                if compiled is not None:
+                    value = compiled(combined, outer)
+                else:
+                    if context is None:
+                        context = EvalContext(
+                            combined, schema, outer, subquery_handler=self
+                        )
+                    value = eval_predicate(conjunct, context)
+                if value is False:
+                    keep = False
+                    break
+                if value is not True:
+                    keep = None
+            if keep is True:
                 rows.append(combined)
         return rows
+
+    def _where_plan(
+        self, select: Select, schema: RowSchema, outer: EvalContext | None
+    ) -> list:
+        """Per-conjunct evaluators for a block's WHERE clause: a
+        compiled closure where possible, the AST (interpreted per row)
+        where not.  Cached per block — a correlated block keeps its
+        plan across the per-outer-tuple rescans."""
+        plan = self._where_plans.get(id(select))
+        if plan is None:
+            parts = conjuncts(select.where) if select.where is not None else []
+            chain = _schema_chain(schema, outer)
+            plan = [
+                (part, try_compile_predicate(part, chain)) for part in parts
+            ]
+            self._where_plans[id(select)] = plan
+        return plan
 
     # -- index fast path ------------------------------------------------------
 
@@ -298,13 +414,27 @@ class NestedIterationExecutor(SubqueryHandler):
         row: tuple,
         outer: EvalContext | None,
     ) -> tuple:
-        context = EvalContext(row, schema, outer, subquery_handler=self)
+        plan = self._item_plans.get(id(select))
+        if plan is None:
+            chain = _schema_chain(schema, outer)
+            plan = [
+                (item.expr, None)
+                if isinstance(item.expr, Star)
+                else (item.expr, try_compile_scalar(item.expr, chain))
+                for item in select.items
+            ]
+            self._item_plans[id(select)] = plan
+        context: EvalContext | None = None
         values: list[object] = []
-        for item in select.items:
-            if isinstance(item.expr, Star):
-                values.extend(self._star_values(item.expr, schema, row))
+        for expr, compiled in plan:
+            if isinstance(expr, Star):
+                values.extend(self._star_values(expr, schema, row))
+            elif compiled is not None:
+                values.append(compiled(row, outer))
             else:
-                values.append(eval_scalar(item.expr, context))
+                if context is None:
+                    context = EvalContext(row, schema, outer, subquery_handler=self)
+                values.append(eval_scalar(expr, context))
         return tuple(values)
 
     def _star_values(self, star: Star, schema: RowSchema, row: tuple) -> list[object]:
@@ -324,13 +454,21 @@ class NestedIterationExecutor(SubqueryHandler):
         outer: EvalContext | None,
     ) -> list[tuple]:
         if select.group_by:
+            key_plans = [
+                (expr, self._scalar_plan(expr, schema, outer))
+                for expr in select.group_by
+            ]
             groups: dict[tuple, list[tuple]] = {}
             order: list[tuple] = []
             for row in qualifying:
                 context = EvalContext(row, schema, outer, subquery_handler=self)
                 key = tuple(
-                    _orderable(eval_scalar(expr, context))
-                    for expr in select.group_by
+                    _orderable(
+                        compiled(row, outer)
+                        if compiled is not None
+                        else eval_scalar(expr, context)
+                    )
+                    for expr, compiled in key_plans
                 )
                 if key not in groups:
                     groups[key] = []
@@ -378,13 +516,17 @@ class NestedIterationExecutor(SubqueryHandler):
             if isinstance(expr.arg, Star):
                 values: list[object] = [1] * len(group)
             else:
-                values = [
-                    eval_scalar(
-                        expr.arg,
-                        EvalContext(row, schema, outer, subquery_handler=self),
-                    )
-                    for row in group
-                ]
+                compiled = self._scalar_plan(expr.arg, schema, outer)
+                if compiled is not None:
+                    values = [compiled(row, outer) for row in group]
+                else:
+                    values = [
+                        eval_scalar(
+                            expr.arg,
+                            EvalContext(row, schema, outer, subquery_handler=self),
+                        )
+                        for row in group
+                    ]
             return compute_aggregate(expr.name, values, expr.distinct)
         if not group:
             return None
@@ -459,6 +601,16 @@ class NestedIterationExecutor(SubqueryHandler):
 
     # -- helpers -----------------------------------------------------------
 
+    def _scalar_plan(self, expr: Expr, schema: RowSchema, outer: EvalContext | None):
+        """Compiled closure for a scalar expression, or None; cached on
+        the AST node's identity (the cache holds the node alive)."""
+        if id(expr) in self._scalar_plans:
+            cached_expr, compiled = self._scalar_plans[id(expr)]
+            return compiled
+        compiled = try_compile_scalar(expr, _schema_chain(schema, outer))
+        self._scalar_plans[id(expr)] = (expr, compiled)
+        return compiled
+
     def _is_correlated(self, query: Select) -> bool:
         """Correlation test used to decide caching.
 
@@ -508,6 +660,20 @@ class NestedIterationExecutor(SubqueryHandler):
                 cached.drop()
         self._column_cache.clear()
         self._scalar_cache.clear()
+
+
+def _schema_chain(
+    schema: RowSchema, outer: EvalContext | None
+) -> tuple[RowSchema, ...]:
+    """The schema chain the compiler resolves against: the block's own
+    schema, then each enclosing context's, innermost first — the same
+    order :meth:`EvalContext.resolve` searches at runtime."""
+    chain = [schema]
+    context = outer
+    while context is not None:
+        chain.append(context.schema)
+        context = context.outer
+    return tuple(chain)
 
 
 def _dedup(rows: list[tuple]) -> list[tuple]:

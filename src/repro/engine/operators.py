@@ -17,6 +17,17 @@ Join methods provided (section 7 considers both at each join step):
   left-outer mode of section 5.2 ("the outer join includes all values
   from columns participating in the join, with NULLs in the opposite
   column if there is no match").
+* :func:`hash_join` — build/probe equi join needing **no sorted
+  inputs**: the right input is read once into an in-memory hash table
+  with duplicate chains, then the left input probes it.  An extension
+  beyond the paper's section-7 repertoire (its cost model considers
+  only nested-loop and sort-merge); inner and left-outer modes, the
+  null-safe ``<=>`` key regime, and in-join residual predicates all
+  match :func:`merge_join` semantics exactly.
+
+Hash-based grouping (:func:`hash_group_aggregate`) and duplicate
+elimination (:func:`hash_distinct`) likewise avoid the sort their
+merge-based counterparts require.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from collections.abc import Callable, Iterator, Sequence
 
 from repro.catalog.catalog import TableEntry
 from repro.engine.aggregate import AggSpec, apply_specs
+from repro.engine.compile import try_compile_predicate, try_compile_scalar
 from repro.engine.expression import EvalContext, eval_predicate, eval_scalar
 from repro.engine.relation import Relation, temp_rows_per_page
 from repro.engine.schema import RowSchema
@@ -63,21 +75,42 @@ def restrict_project(
         projections: output columns as ``(expr, qualifier, name)``
             triples; None keeps the source schema unchanged.
     """
+    source_schema = source.schema
     if projections is None:
-        out_schema = source.schema
-        compute: Callable[[EvalContext], tuple] | None = None
+        out_schema = source_schema
+        compute: Callable[[tuple], tuple] | None = None
     else:
         out_schema = RowSchema((qual, col) for _, qual, col in projections)
+        compiled_items = [
+            try_compile_scalar(expr, source_schema) for expr, _, _ in projections
+        ]
+        if all(fn is not None for fn in compiled_items):
 
-        def compute(context: EvalContext) -> tuple:
-            return tuple(eval_scalar(expr, context) for expr, _, _ in projections)
+            def compute(row: tuple) -> tuple:
+                return tuple(fn(row, None) for fn in compiled_items)
+
+        else:
+
+            def compute(row: tuple) -> tuple:
+                context = EvalContext(row, source_schema)
+                return tuple(
+                    eval_scalar(expr, context) for expr, _, _ in projections
+                )
+
+    if predicate is None:
+        keep: Callable[[tuple], object] | None = None
+    else:
+        keep = try_compile_predicate(predicate, source_schema)
+        if keep is None:
+
+            def keep(row: tuple, _outer=None) -> object:
+                return eval_predicate(predicate, EvalContext(row, source_schema))
 
     def generate() -> Iterator[tuple]:
         for row in source:
-            context = EvalContext(row, source.schema)
-            if predicate is not None and eval_predicate(predicate, context) is not True:
+            if keep is not None and keep(row, None) is not True:
                 continue
-            yield row if compute is None else compute(context)
+            yield row if compute is None else compute(row)
 
     return Relation.materialize(
         out_schema, generate(), buffer, rows_per_page=rows_per_page, name=name
@@ -100,20 +133,33 @@ def nested_loop_join(
     """
     out_schema = left.schema + right.schema
     right_nulls = (None,) * len(right.schema)
+    keep = _row_predicate(predicate, out_schema)
 
     def generate() -> Iterator[tuple]:
         for left_row in left:
             matched = False
             for right_row in right:
                 combined = left_row + right_row
-                context = EvalContext(combined, out_schema)
-                if predicate is None or eval_predicate(predicate, context) is True:
+                if keep is None or keep(combined) is True:
                     matched = True
                     yield combined
             if mode == "left" and not matched:
                 yield left_row + right_nulls
 
     return Relation.materialize(out_schema, generate(), buffer, name=name)
+
+
+def _row_predicate(
+    predicate: Expr | None, schema: RowSchema
+) -> Callable[[tuple], object] | None:
+    """A per-row predicate callable: compiled when possible, interpreted
+    otherwise (None when there is no predicate at all)."""
+    if predicate is None:
+        return None
+    compiled = try_compile_predicate(predicate, schema)
+    if compiled is not None:
+        return lambda row: compiled(row, None)
+    return lambda row: eval_predicate(predicate, EvalContext(row, schema))
 
 
 def merge_join(
@@ -297,6 +343,117 @@ def _theta_range(
         end = bisect.bisect_right(keys, key)
         return iter(rows[:start] + rows[end:])
     raise ExecutionError(f"unsupported theta-join operator {op!r}")
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    buffer: BufferPool,
+    left_key: Sequence[int],
+    right_key: Sequence[int],
+    mode: JoinMode = "inner",
+    name: str | None = None,
+    null_safe: bool = False,
+    residual: Callable[[tuple], object] | None = None,
+) -> Relation:
+    """Hash equi join: build on ``right``, probe with ``left``.
+
+    Neither input needs to be sorted.  The right input is read once and
+    hashed on its key columns (duplicate keys chain in insertion
+    order); each left row then probes the table.  Key equality follows
+    SQL ``=``: a NULL in either key matches nothing — build rows with
+    NULL keys are not even inserted, and probe rows with NULL keys
+    produce no matches (but are NULL-padded under ``mode="left"``).
+
+    ``null_safe=True`` switches both sides to ``<=>`` semantics: NULL
+    keys hash and join like any other value (NULL <=> NULL is true).
+
+    ``residual`` is evaluated over the combined row *as part of the
+    join condition*, exactly as in :func:`merge_join`: under
+    ``mode="left"`` a left row whose only key matches flunk the
+    residual is NULL-padded rather than dropped.
+    """
+    out_schema = left.schema + right.schema
+    right_nulls = (None,) * len(right.schema)
+    build_key = list(right_key)
+    probe_key = list(left_key)
+
+    def generate() -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        for row in right:
+            if not null_safe and any(row[i] is None for i in build_key):
+                continue
+            table.setdefault(tuple(row[i] for i in build_key), []).append(row)
+
+        for left_row in left:
+            matched = False
+            if null_safe or not any(left_row[i] is None for i in probe_key):
+                key = tuple(left_row[i] for i in probe_key)
+                for right_row in table.get(key, ()):
+                    combined = left_row + right_row
+                    if residual is not None and residual(combined) is not True:
+                        continue
+                    matched = True
+                    yield combined
+            if mode == "left" and not matched:
+                yield left_row + right_nulls
+
+    return Relation.materialize(out_schema, generate(), buffer, name=name)
+
+
+def hash_group_aggregate(
+    source: Relation,
+    buffer: BufferPool,
+    group_columns: Sequence[int],
+    specs: Sequence[AggSpec],
+    out_names: Sequence[tuple[str | None, str]],
+    name: str | None = None,
+    always_emit: bool = False,
+) -> Relation:
+    """Grouped aggregation by hashing — the input needs **no sort**.
+
+    Same contract as :func:`group_aggregate` except groups are
+    accumulated in a hash table and emitted in first-appearance order
+    (NULL group keys form one group, as in SQL's GROUP BY).
+    """
+    expected = len(group_columns) + len(specs)
+    if len(out_names) != expected:
+        raise ExecutionError(
+            f"group_aggregate needs {expected} output names, got {len(out_names)}"
+        )
+    out_schema = RowSchema(out_names)
+    group_cols = list(group_columns)
+    agg_specs = list(specs)
+
+    def generate() -> Iterator[tuple]:
+        if not group_cols:
+            rows = source.to_list()
+            if rows or always_emit:
+                yield tuple(apply_specs(rows, agg_specs))
+            return
+        groups: dict[tuple, list[tuple]] = {}
+        for row in source:
+            groups.setdefault(tuple(row[i] for i in group_cols), []).append(row)
+        for key, rows in groups.items():
+            yield key + tuple(apply_specs(rows, agg_specs))
+
+    return Relation.materialize(out_schema, generate(), buffer, name=name)
+
+
+def hash_distinct(
+    source: Relation, buffer: BufferPool, name: str | None = None
+) -> Relation:
+    """Duplicate elimination by hashing (first occurrence kept, input
+    order preserved) — the hash counterpart of sort-unique."""
+
+    def generate() -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in source:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    return Relation.materialize(source.schema, generate(), buffer, name=name)
 
 
 def group_aggregate(

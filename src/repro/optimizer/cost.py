@@ -268,3 +268,105 @@ def ja2_costs(params: CostParameters, mode: str = LOG_CONTINUOUS) -> Ja2CostBrea
         final_merge=final_join_cost_merge(params, mode),
         final_nested=final_join_cost_nested(params),
     )
+
+
+# ---------------------------------------------------------------------------
+# Hash-based operators (an extension beyond section 7's repertoire)
+# ---------------------------------------------------------------------------
+#
+# The paper costs only sort-merge and nested-loop evaluation.  The
+# executor's ``join_method="hash"`` adds classic (Grace-style) hash
+# operators, costed with the standard textbook accounting: an input
+# whose build side fits in the in-memory hash table (≈ ``B - 2`` frames,
+# one frame reserved for input and one for output) is processed in a
+# single pass; otherwise both inputs are partitioned to disk first,
+# tripling their I/O (read + partition-write + partition-read).
+
+
+def _fits_in_memory(pages: float, buffer_pages: int) -> bool:
+    return pages <= max(0, buffer_pages - 2)
+
+
+def hash_join_cost(
+    p_build: float,
+    p_probe: float,
+    buffer_pages: int,
+    result_pages: float = 0.0,
+) -> float:
+    """Hash equi join building on ``p_build``, probing with ``p_probe``.
+
+    In-memory: ``Pbuild + Pprobe + Presult``.  Partitioned:
+    ``3·(Pbuild + Pprobe) + Presult``.  No sort terms — that is the
+    whole point versus :func:`transform_nj_cost`.
+    """
+    if _fits_in_memory(p_build, buffer_pages):
+        return p_build + p_probe + result_pages
+    return 3.0 * (p_build + p_probe) + result_pages
+
+
+def hash_aggregate_cost(
+    p_in: float, buffer_pages: int, result_pages: float = 0.0
+) -> float:
+    """Hash GROUP BY / DISTINCT over a ``p_in``-page input.
+
+    One scan when the group table fits in memory, else partition first:
+    ``Pin + Presult`` vs ``3·Pin + Presult``.
+    """
+    if _fits_in_memory(p_in, buffer_pages):
+        return p_in + result_pages
+    return 3.0 * p_in + result_pages
+
+
+def transform_nj_hash_cost(
+    pi: float,
+    pj: float,
+    buffer_pages: int,
+    result_pages: float = 0.0,
+) -> float:
+    """Canonical N/J-query evaluation by hash join (build the smaller
+    side) — the hash counterpart of :func:`transform_nj_cost`."""
+    build, probe = (pi, pj) if pi <= pj else (pj, pi)
+    return hash_join_cost(build, probe, buffer_pages, result_pages)
+
+
+def outer_projection_cost_hash(params: CostParameters) -> float:
+    """Section 7.1's Rt2 creation with hash dedup instead of a sort:
+    read Ri, write Rt2 (``Pi + Pt2``); a spilling dedup triples Rt2."""
+    if _fits_in_memory(params.pt2, params.buffer_pages):
+        return params.pi + params.pt2
+    return params.pi + 3.0 * params.pt2
+
+
+def temp_creation_cost_hash(params: CostParameters) -> float:
+    """Section 7.2's Rt creation with hash join + hash GROUP BY:
+
+    ``Pj + Pt3`` (projection/restriction of Rj), the hash join of Rt2
+    with Rt3 writing Rt4, then hash aggregation of Rt4 writing Rt —
+    no sort of Rt3 and no reliance on Rt2's order.
+    """
+    build, probe = (
+        (params.pt2, params.pt3)
+        if params.pt2 <= params.pt3
+        else (params.pt3, params.pt2)
+    )
+    return (
+        params.pj
+        + params.pt3
+        + hash_join_cost(build, probe, params.buffer_pages, params.pt4)
+        + hash_aggregate_cost(params.pt4, params.buffer_pages, params.pt)
+    )
+
+
+def final_join_cost_hash(params: CostParameters) -> float:
+    """Section 7.3's final join by hash: build on Rt (the small grouped
+    temp), probe with Ri — ``Ri`` needs no sort."""
+    return hash_join_cost(params.pt, params.pi, params.buffer_pages)
+
+
+def ja2_hash_cost(params: CostParameters) -> float:
+    """Total NEST-JA2 cost with hash operators throughout."""
+    return (
+        outer_projection_cost_hash(params)
+        + temp_creation_cost_hash(params)
+        + final_join_cost_hash(params)
+    )

@@ -8,7 +8,11 @@ engine with a chosen join method:
 * ``join_method="merge"`` — sort inputs as needed and merge join (the
   evaluation the paper's section 7 costs in detail);
 * ``join_method="nested"`` — nested-loop joins (efficient only when the
-  inner fits in the buffer, section 7.2).
+  inner fits in the buffer, section 7.2);
+* ``join_method="hash"`` — build/probe hash equi joins plus hash-based
+  GROUP BY and DISTINCT, which need **no sorted inputs** (an extension
+  beyond the paper's sort-merge repertoire; theta joins still fall back
+  to the sort-merge path).
 
 Design points lifted straight from the paper:
 
@@ -30,6 +34,9 @@ from repro.catalog.catalog import Catalog
 from repro.engine.aggregate import AggSpec
 from repro.engine.operators import (
     group_aggregate,
+    hash_distinct,
+    hash_group_aggregate,
+    hash_join,
     merge_join,
     nested_loop_join,
     restrict_project,
@@ -68,7 +75,7 @@ class SingleLevelExecutor:
     """Executes canonical queries over the storage engine."""
 
     def __init__(self, catalog: Catalog, join_method: str = "merge") -> None:
-        if join_method not in ("merge", "nested"):
+        if join_method not in ("merge", "nested", "hash"):
             raise PlanError(f"unknown join method {join_method!r}")
         self.catalog = catalog
         self.buffer = catalog.buffer
@@ -94,9 +101,13 @@ class SingleLevelExecutor:
             result = self._plain_output(select, state)
 
         if select.distinct:
-            result = external_sort(result, list(range(len(result.schema))),
-                                   self.buffer, unique=True, name="distinct")
-            self._log("sort-unique for DISTINCT")
+            if self.join_method == "hash":
+                result = hash_distinct(result, self.buffer, name="distinct")
+                self._log("hash dedup for DISTINCT (no sort)")
+            else:
+                result = external_sort(result, list(range(len(result.schema))),
+                                       self.buffer, unique=True, name="distinct")
+                self._log("sort-unique for DISTINCT")
         if select.order_by:
             result = self._order_output(select, result)
         return result
@@ -243,8 +254,12 @@ class SingleLevelExecutor:
             return _State(joined, left.sorted_on)
 
         if equi:
+            if self.join_method == "hash":
+                return self._hash_equi(left, right, equi, theta, other)
             return self._merge_equi(left, right, equi, theta, other)
         if theta:
+            # No equi keys to hash on: the hash method falls back to the
+            # sorted theta merge join.
             return self._merge_theta(left, right, theta, other)
 
         # No join predicate: cross product by nested loops.
@@ -298,6 +313,47 @@ class SingleLevelExecutor:
             return state  # residual already applied inside the join
         return self._filter_state(state, make_and(residual_preds))
 
+    def _hash_equi(self, left, right, equi, theta, other) -> _State:
+        # Same key-regime rule as the merge path: keys share one
+        # NULL-handling regime, so a mixed set keeps the regular keys
+        # and demotes the null-safe equalities to the residual.
+        null_safe = all(e[3] for e in equi)
+        key_equi = equi if null_safe else [e for e in equi if not e[3]]
+        residual_equi = [] if null_safe else [e for e in equi if e[3]]
+        left_keys = [left.relation.schema.index_of(l) for l, _, _, _ in key_equi]
+        right_keys = [right.relation.schema.index_of(r) for _, r, _, _ in key_equi]
+        mode = "left" if self._any_outer(equi, theta) else "inner"
+
+        residual_preds = (
+            [self._join_pred_expr(e) for e in residual_equi]
+            + [self._theta_pred_expr(t) for t in theta]
+            + other
+        )
+        # Hash joins need no sorted inputs; the residual is always
+        # applied in-join (required for the outer mode, free otherwise).
+        joined = hash_join(
+            left.relation, right.relation, self.buffer,
+            left_keys, right_keys, mode=mode, name="hash-join",
+            null_safe=null_safe,
+            residual=self._residual_callable(
+                make_and(residual_preds),
+                left.relation.schema + right.relation.schema,
+            ),
+        )
+        self._log(
+            "hash join on "
+            + ", ".join(
+                f"{l.qualified()} {'<=>' if ns else '='} {r.qualified()}"
+                for l, r, _, ns in key_equi
+            )
+            + (" (left outer)" if mode == "left" else "")
+            + " (build right, no sort)"
+        )
+        # Probe-side order is preserved: each left row's matches stream
+        # out in left order, so any prefix ordering of the left input
+        # survives the join.
+        return _State(joined, left.sorted_on)
+
     def _merge_theta(self, left, right, theta, other) -> _State:
         left_col, op, right_col, outer = theta[0]
         left_key = left.relation.schema.index_of(left_col)
@@ -328,15 +384,22 @@ class SingleLevelExecutor:
         return self._filter_state(state, make_and(residual_preds))
 
     def _residual_callable(self, predicate: Expr | None, schema: RowSchema):
-        """Wrap a predicate as a combined-row callable for merge_join."""
+        """Wrap a predicate as a combined-row callable for the joins."""
         if predicate is None:
             return None
+        self._log(f"join residual: {to_sql(predicate)}")
+
+        from repro.engine.compile import try_compile_predicate
+
+        compiled = try_compile_predicate(predicate, schema)
+        if compiled is not None:
+            return lambda combined: compiled(combined, None)
+
         from repro.engine.expression import EvalContext, eval_predicate
 
         def check(combined: tuple):
             return eval_predicate(predicate, EvalContext(combined, schema))
 
-        self._log(f"join residual: {to_sql(predicate)}")
         return check
 
     def _normalize_join_pred(
@@ -480,13 +543,18 @@ class SingleLevelExecutor:
             )
 
         relation = state.relation
+        aggregate_op = group_aggregate
         if group_positions and not self._grouping_satisfied(
             state.sorted_on, group_positions
         ):
-            relation = external_sort(
-                relation, group_positions, self.buffer, name="group-sort"
-            )
-            self._log("sort for GROUP BY")
+            if self.join_method == "hash":
+                aggregate_op = hash_group_aggregate
+                self._log("hash GROUP BY (no sort)")
+            else:
+                relation = external_sort(
+                    relation, group_positions, self.buffer, name="group-sort"
+                )
+                self._log("sort for GROUP BY")
         elif group_positions:
             self._log("GROUP BY input already in group order (no sort)")
 
@@ -495,7 +563,7 @@ class SingleLevelExecutor:
         ]
         agg_fields = [(None, f"A{i}") for i in range(len(specs))]
         having_fields = [(None, f"H{i}") for i in range(len(having_specs))]
-        grouped = group_aggregate(
+        grouped = aggregate_op(
             relation, self.buffer, group_positions, specs + having_specs,
             group_fields + agg_fields + having_fields,
             name="group", always_emit=not group_positions,

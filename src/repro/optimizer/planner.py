@@ -35,8 +35,10 @@ from repro.errors import PlanError
 from repro.optimizer.cost import (
     CostParameters,
     ja2_costs,
+    ja2_hash_cost,
     nested_iteration_cost_auto,
     transform_nj_cost,
+    transform_nj_hash_cost,
 )
 from repro.sql.ast import (
     Between,
@@ -136,12 +138,16 @@ class Planner:
             alternatives["transform (merge join)"] = transform_nj_cost(
                 params.pi, params.pj, params.buffer_pages
             )
+            alternatives["transform (hash join)"] = transform_nj_hash_cost(
+                params.pi, params.pj, params.buffer_pages
+            )
         else:
             breakdown = ja2_costs(params)
             alternatives["transform (merge+merge)"] = breakdown.merge_merge
             alternatives["transform (merge+nested)"] = breakdown.merge_nested
             alternatives["transform (nested+merge)"] = breakdown.nested_merge
             alternatives["transform (nested+nested)"] = breakdown.nested_nested
+            alternatives["transform (hash)"] = ja2_hash_cost(params)
 
         best_name = min(alternatives, key=alternatives.get)
         if best_name.startswith("nested_iteration"):
@@ -150,7 +156,12 @@ class Planner:
             method, join_method = "nested_iteration", None
         else:
             method = "transform"
-            join_method = "nested" if "(nested" in best_name else "merge"
+            if "hash" in best_name:
+                join_method = "hash"
+            elif "(nested" in best_name:
+                join_method = "nested"
+            else:
+                join_method = "merge"
         return PlanChoice(
             method=method,
             join_method=join_method,

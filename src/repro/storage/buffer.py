@@ -35,7 +35,13 @@ class BufferPool:
             )
         self.disk = disk
         self.capacity = capacity
-        self._frames: OrderedDict[int, Page] = OrderedDict()
+        # Residency and eviction order are tracked separately: _frames
+        # maps every resident page to its frame, while _lru orders only
+        # the *unpinned* residents.  Pinning removes a page from _lru,
+        # so eviction is a single popitem — O(1) amortized — instead of
+        # a scan past however many pages happen to be pinned.
+        self._frames: dict[int, Page] = {}
+        self._lru: OrderedDict[int, None] = OrderedDict()
         self._pinned: set[int] = set()
         self.hits = 0
 
@@ -46,7 +52,8 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is not None:
             self.hits += 1
-            self._frames.move_to_end(page_id)
+            if page_id in self._lru:
+                self._lru.move_to_end(page_id)
             return frame
         frame = self.disk.read_page(page_id)
         self._admit(frame)
@@ -75,10 +82,14 @@ class BufferPool:
         if page_id not in self._frames:
             raise StorageError(f"cannot pin non-resident page {page_id}")
         self._pinned.add(page_id)
+        self._lru.pop(page_id, None)
 
     def unpin(self, page_id: int) -> None:
-        """Release a pin (idempotent)."""
-        self._pinned.discard(page_id)
+        """Release a pin (idempotent); the page re-enters LRU as MRU."""
+        if page_id in self._pinned:
+            self._pinned.remove(page_id)
+            if page_id in self._frames:
+                self._lru[page_id] = None
 
     def mark_dirty(self, page_id: int) -> None:
         frame = self._frames.get(page_id)
@@ -104,11 +115,13 @@ class BufferPool:
         """Flush and drop every frame; the pool becomes cold."""
         self.flush_all()
         self._frames.clear()
+        self._lru.clear()
         self._pinned.clear()
 
     def discard(self, page_id: int) -> None:
         """Drop a frame without writing it back (for deallocated pages)."""
         self._frames.pop(page_id, None)
+        self._lru.pop(page_id, None)
         self._pinned.discard(page_id)
 
     # -- statistics ----------------------------------------------------------
@@ -131,15 +144,13 @@ class BufferPool:
         while len(self._frames) >= self.capacity:
             self._evict_lru()
         self._frames[frame.page_id] = frame
-        self._frames.move_to_end(frame.page_id)
+        self._lru[frame.page_id] = None
+        self._lru.move_to_end(frame.page_id)
 
     def _evict_lru(self) -> None:
-        for page_id in self._frames:
-            if page_id not in self._pinned:
-                victim = page_id
-                break
-        else:
+        if not self._lru:
             raise StorageError("buffer pool exhausted: every page is pinned")
+        victim, _ = self._lru.popitem(last=False)
         frame = self._frames.pop(victim)
         if frame.dirty:
             self.disk.write_page(frame)

@@ -1,4 +1,4 @@
-"""The three-way runner, the shrinker, and the CLI."""
+"""The differential runner, the shrinker, and the CLI."""
 
 from repro.difftest.grammar import Case, CaseGenerator, TABLES
 from repro.difftest.minimize import minimize_case
@@ -31,14 +31,28 @@ class TestRunCase:
         assert outcome.status == "ok"
         assert outcome.transform_skipped
 
-    def test_three_result_bags_are_collected(self):
+    def test_result_bags_cover_every_leg(self):
         outcome = run_case(
             make_case([(1, 2)], [], "SELECT T.A, T.B FROM T")
         )
         assert set(outcome.results) == {
             "sqlite",
             "nested_iteration",
-            "transform",
+            "transform[merge]",
+            "transform[nested]",
+            "transform[hash]",
+        }
+
+    def test_join_methods_are_selectable(self):
+        outcome = run_case(
+            make_case([(1, 2)], [], "SELECT T.A, T.B FROM T"),
+            join_methods=("hash",),
+        )
+        assert outcome.status == "ok"
+        assert set(outcome.results) == {
+            "sqlite",
+            "nested_iteration",
+            "transform[hash]",
         }
 
 

@@ -1,0 +1,171 @@
+"""The compiled expression layer must be indistinguishable from the
+interpreter: same values, same three-valued logic, same errors."""
+
+import pytest
+
+from repro.engine.compile import (
+    CannotCompile,
+    compile_predicate,
+    compile_scalar,
+    interpreted_only,
+    try_compile_predicate,
+    try_compile_scalar,
+)
+from repro.engine.expression import EvalContext, eval_predicate, eval_scalar
+from repro.engine.schema import RowSchema
+from repro.errors import ExecutionError
+from repro.sql.parser import parse_expression
+
+
+SCHEMA = RowSchema([("T", "A"), ("T", "B"), ("T", "C")])
+
+SCALAR_SOURCES = [
+    "A",
+    "T.B",
+    "7",
+    "-A",
+    "A + B",
+    "A - B * C",
+    "A / B",
+    "'x'",
+]
+
+PREDICATE_SOURCES = [
+    "A = B",
+    "A <> B",
+    "A < 3",
+    "A >= B",
+    "A <=> B",
+    "A = 1 AND B = 2",
+    "A = 1 OR B = 2",
+    "NOT A = 1",
+    "A IS NULL",
+    "A IS NOT NULL",
+    "A BETWEEN 1 AND 3",
+    "A NOT BETWEEN B AND C",
+    "A IN (1, 2, 3)",
+    "A NOT IN (1, B)",
+]
+
+ROWS = [
+    (1, 2, 3),
+    (2, 2, 2),
+    (None, 2, 3),
+    (1, None, 3),
+    (None, None, None),
+    (0, -1, 5),
+]
+
+
+def both_scalar(source, row):
+    """(compiled value/error, interpreted value/error) for one row."""
+    expr = parse_expression(source)
+    outcomes = []
+    for evaluate in (
+        lambda: compile_scalar(expr, SCHEMA)(row, None),
+        lambda: eval_scalar(expr, EvalContext(row, SCHEMA)),
+    ):
+        try:
+            outcomes.append(("ok", evaluate()))
+        except Exception as error:
+            outcomes.append(("error", type(error).__name__, str(error)))
+    return outcomes
+
+
+def both_predicate(source, row):
+    expr = parse_expression(source)
+    outcomes = []
+    for evaluate in (
+        lambda: compile_predicate(expr, SCHEMA)(row, None),
+        lambda: eval_predicate(expr, EvalContext(row, SCHEMA)),
+    ):
+        try:
+            outcomes.append(("ok", evaluate()))
+        except Exception as error:
+            outcomes.append(("error", type(error).__name__, str(error)))
+    return outcomes
+
+
+class TestScalarAgreement:
+    @pytest.mark.parametrize("source", SCALAR_SOURCES)
+    @pytest.mark.parametrize("row", ROWS)
+    def test_matches_interpreter(self, source, row):
+        compiled, interpreted = both_scalar(source, row)
+        assert compiled == interpreted
+
+    def test_division_by_zero_matches(self):
+        compiled, interpreted = both_scalar("A / B", (1, 0, 0))
+        assert compiled == interpreted
+        assert compiled[0] == "error"
+
+    def test_arith_type_error_matches(self):
+        compiled, interpreted = both_scalar("A + B", (1, "x", 0))
+        assert compiled == interpreted
+        assert compiled[0] == "error"
+
+
+class TestPredicateAgreement:
+    @pytest.mark.parametrize("source", PREDICATE_SOURCES)
+    @pytest.mark.parametrize("row", ROWS)
+    def test_matches_interpreter(self, source, row):
+        compiled, interpreted = both_predicate(source, row)
+        assert compiled == interpreted
+
+    def test_type_mismatch_error_is_identical(self):
+        compiled, interpreted = both_predicate("A = B", (1, "x", 0))
+        assert compiled == interpreted
+        assert compiled[1] == "ExecutionError"
+        assert "type mismatch" in compiled[2]
+
+    def test_null_safe_equality_on_nulls(self):
+        fn = compile_predicate(parse_expression("A <=> B"), SCHEMA)
+        assert fn((None, None, 0), None) is True
+        assert fn((None, 1, 0), None) is False
+        assert fn((1, 1, 0), None) is True
+
+    def test_in_list_with_null_item_is_unknown(self):
+        fn = compile_predicate(parse_expression("A IN (1, B)"), SCHEMA)
+        assert fn((5, None, 0), None) is None  # no match, NULL item
+        assert fn((1, None, 0), None) is True  # match wins over NULL
+
+
+class TestCorrelatedReferences:
+    def test_outer_reference_resolves_through_context_chain(self):
+        inner_schema = RowSchema([("S", "X")])
+        outer_schema = RowSchema([("P", "PNUM")])
+        expr = parse_expression("S.X = P.PNUM")
+        fn = compile_predicate(expr, [inner_schema, outer_schema])
+        outer = EvalContext((42,), outer_schema)
+        assert fn((42,), outer) is True
+        assert fn((7,), outer) is False
+
+    def test_two_level_chain(self):
+        inner = RowSchema([("A", "X")])
+        mid = RowSchema([("B", "Y")])
+        top = RowSchema([("C", "Z")])
+        expr = parse_expression("A.X + B.Y + C.Z")
+        fn = compile_scalar(expr, [inner, mid, top])
+        chain = EvalContext((10,), mid, outer=EvalContext((100,), top))
+        assert fn((1,), chain) == 111
+
+    def test_unresolvable_reference_cannot_compile(self):
+        with pytest.raises(CannotCompile):
+            compile_scalar(parse_expression("Q.MISSING"), SCHEMA)
+
+
+class TestFallback:
+    def test_subquery_predicate_cannot_compile(self):
+        expr = parse_expression("A IN (SELECT X FROM T2)")
+        with pytest.raises(CannotCompile):
+            compile_predicate(expr, SCHEMA)
+        assert try_compile_predicate(expr, SCHEMA) is None
+
+    def test_try_compile_returns_closure_for_simple_exprs(self):
+        assert try_compile_scalar(parse_expression("A + 1"), SCHEMA) is not None
+        assert try_compile_predicate(parse_expression("A = 1"), SCHEMA) is not None
+
+    def test_interpreted_only_disables_compilation(self):
+        expr = parse_expression("A = 1")
+        with interpreted_only():
+            assert try_compile_predicate(expr, SCHEMA) is None
+        assert try_compile_predicate(expr, SCHEMA) is not None

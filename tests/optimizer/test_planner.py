@@ -47,18 +47,29 @@ class TestPlannerChoices:
         choice = Planner(small_inner_catalog()).choose(GENERATED_JA_QUERY)
         assert choice.method == "nested_iteration"
 
-    def test_ja_choice_lists_four_variants(self):
+    def test_ja_choice_lists_all_variants(self):
         choice = Planner(big_catalog()).choose(GENERATED_JA_QUERY)
         variant_names = [n for n in choice.alternatives if "transform" in n]
-        assert len(variant_names) == 4
+        # The four section-7 merge/nested combinations plus the hash plan.
+        assert len(variant_names) == 5
+        assert "transform (hash)" in choice.alternatives
 
-    def test_type_n_choice_lists_merge_transform(self):
+    def test_type_n_choice_lists_merge_and_hash_transform(self):
         catalog = big_catalog()
         choice = Planner(catalog).choose(
             "SELECT PNUM FROM PARTS WHERE PNUM IN "
             "(SELECT PNUM FROM SUPPLY WHERE SHIPDATE < '1980-01-01')"
         )
         assert "transform (merge join)" in choice.alternatives
+        assert "transform (hash join)" in choice.alternatives
+
+    def test_hash_choice_sets_hash_join_method(self):
+        choice = Planner(big_catalog()).choose(GENERATED_JA_QUERY)
+        if choice.method == "transform" and "hash" in min(
+            (n for n in choice.alternatives if "transform" in n),
+            key=choice.alternatives.get,
+        ):
+            assert choice.join_method == "hash"
 
     def test_describe_mentions_all_alternatives(self):
         choice = Planner(big_catalog()).choose(GENERATED_JA_QUERY)

@@ -109,6 +109,70 @@ class TestEvictionAndWriteback:
         assert pool.resident_pages == 0
 
 
+class TestPinning:
+    def test_pinned_page_survives_eviction_pressure(self):
+        disk, pool = make_pool(capacity=2)
+        a = disk.allocate()
+        pool.get_page(a)
+        pool.pin(a)
+        for _ in range(5):
+            pool.get_page(disk.allocate())
+        pool.get_page(a)  # never left the pool
+        assert disk.page_reads == 6
+        assert pool.hits == 1
+
+    def test_pin_requires_residency(self):
+        disk, pool = make_pool()
+        pid = disk.allocate()
+        with pytest.raises(StorageError):
+            pool.pin(pid)
+
+    def test_fully_pinned_pool_refuses_admission(self):
+        disk, pool = make_pool(capacity=2)
+        pids = [disk.allocate() for _ in range(2)]
+        for pid in pids:
+            pool.get_page(pid)
+            pool.pin(pid)
+        with pytest.raises(StorageError, match="every page is pinned"):
+            pool.get_page(disk.allocate())
+
+    def test_unpin_reopens_the_pool(self):
+        disk, pool = make_pool(capacity=2)
+        a, b = disk.allocate(), disk.allocate()
+        pool.get_page(a)
+        pool.pin(a)
+        pool.get_page(b)
+        pool.pin(b)
+        pool.unpin(a)
+        c = disk.allocate()
+        pool.get_page(c)  # evicts a, the only unpinned frame
+        assert pool.resident_pages == 2
+        pool.get_page(b)
+        assert pool.hits == 1  # b stayed put
+
+    def test_unpin_is_idempotent_and_keeps_lru_order(self):
+        disk, pool = make_pool(capacity=2)
+        a, b = disk.allocate(), disk.allocate()
+        pool.get_page(a)
+        pool.get_page(b)
+        pool.unpin(a)  # never pinned: must not promote a to MRU
+        pool.get_page(disk.allocate())  # evicts a, not b
+        pool.get_page(b)
+        assert pool.hits == 1
+
+    def test_dirty_pinned_page_writes_back_after_unpin(self):
+        disk, pool = make_pool(capacity=2)
+        page = pool.new_page(capacity=4)
+        page.append((42,))
+        pool.pin(page.page_id)
+        pool.get_page(disk.allocate())
+        pool.unpin(page.page_id)
+        pool.get_page(disk.allocate())
+        pool.get_page(disk.allocate())  # pressure evicts the dirty page
+        assert disk.page_writes == 1
+        assert pool.get_page(page.page_id).rows == [(42,)]
+
+
 class TestRescanBehaviour:
     """The buffer property the paper's nested-iteration analysis uses."""
 
