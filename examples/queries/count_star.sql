@@ -1,0 +1,5 @@
+-- Section 5.2.1: COUNT(*) must become COUNT(join column) inside the
+-- transformed temp or the outer join's NULL padding is miscounted.
+SELECT PNUM FROM PARTS
+WHERE QOH = (SELECT COUNT(*) FROM SUPPLY
+             WHERE SUPPLY.PNUM = PARTS.PNUM)

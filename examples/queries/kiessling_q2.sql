@@ -1,0 +1,6 @@
+-- Kiessling's Q2 (section 5.1): parts whose quantity-on-hand equals
+-- the number of pre-1980 shipments.  The COUNT-bug query.
+SELECT PNUM FROM PARTS
+WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY
+             WHERE SUPPLY.PNUM = PARTS.PNUM
+               AND SHIPDATE < '1980-01-01')

@@ -1,0 +1,5 @@
+-- Section 5.3 shape: a non-equality correlation operator.  NEST-JA2
+-- moves the `<` into the temp-building join and rejoins on equality.
+SELECT PNUM FROM PARTS
+WHERE QOH = (SELECT COUNT(SHIPDATE) FROM SUPPLY
+             WHERE SUPPLY.PNUM < PARTS.PNUM)

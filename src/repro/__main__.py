@@ -1,10 +1,13 @@
-"""Command-line entry point: ``python -m repro [difftest ...]``.
+"""Command-line entry point: ``python -m repro [difftest|check ...]``.
 
 Without arguments, an interactive SQL REPL over a fresh
 :class:`~repro.api.Database`.  With the ``difftest`` subcommand, the
-differential tester against SQLite::
+differential tester against SQLite; with ``check``, the static plan
+verifier + Kim-bug lint::
 
     python -m repro difftest --examples 500 --seed 0
+    python -m repro check --figure1
+    python -m repro check --instance kiessling --ja kim "SELECT ..."
 
 In the REPL, statements end with ``;``.  Backslash commands control
 the session::
@@ -270,9 +273,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.difftest.runner import main as difftest_main
 
         return difftest_main(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.analysis.check import main as check_main
+
+        return check_main(argv[1:])
     if argv:
         print(f"unknown subcommand {argv[0]!r}; usage: python -m repro "
-              "[difftest --examples N --seed S]", file=sys.stderr)
+              "[difftest --examples N --seed S | check QUERY ...]",
+              file=sys.stderr)
         return 2
     return repl()
 

@@ -1,0 +1,85 @@
+"""Mapping AST nodes back to source spans.
+
+The AST is built from frozen dataclasses compared structurally, so the
+nodes carry no positions (adding them would complicate the equality the
+transformation tests rely on).  Instead, diagnostics that concern the
+*original* query text recover spans by re-lexing the source and looking
+for the token sequence that spells the node — ``SP . ORIGIN`` for a
+qualified :class:`ColumnRef`, a bare identifier for an unqualified one.
+
+This is a best-effort mapping: when the same reference occurs several
+times, occurrences are handed out in source order (callers ask for the
+``occurrence``-th match), and synthetic nodes produced by the
+transformations simply have no span — their diagnostics carry the
+rendered SQL of the offending plan fragment instead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Span
+from repro.errors import LexError
+from repro.sql.ast import ColumnRef
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+class SourceMap:
+    """Finds source spans for identifiers and column references."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        try:
+            self._tokens: list[Token] = tokenize(source)
+        except LexError:  # pragma: no cover - parse would have failed
+            self._tokens = []
+
+    # -- lookups -----------------------------------------------------------
+
+    def column_span(self, ref: ColumnRef, occurrence: int = 0) -> Span | None:
+        """Span of the ``occurrence``-th appearance of ``ref``.
+
+        A qualified reference matches both its dotted spelling and, as
+        a fallback, the bare column name — qualification is usually the
+        *result* of the qualify pass, while the user wrote the bare
+        name.
+        """
+        if ref.table is not None:
+            span = self._dotted_span(ref.table, ref.column, occurrence)
+            if span is not None:
+                return span
+        return self.ident_span(ref.column, occurrence)
+
+    def ident_span(self, name: str, occurrence: int = 0) -> Span | None:
+        """Span of the ``occurrence``-th identifier token named ``name``."""
+        seen = 0
+        for index, token in enumerate(self._tokens):
+            if not token.matches(TokenType.IDENT, name):
+                continue
+            # Skip the column part of dotted references; the dotted
+            # lookup handles those (a bare "C" should not land on the
+            # "C" of "T.C" belonging to another table).
+            if index > 0 and self._tokens[index - 1].matches(
+                TokenType.PUNCT, "."
+            ):
+                continue
+            if seen == occurrence:
+                return Span(token.position, token.position + len(name))
+            seen += 1
+        return None
+
+    def _dotted_span(
+        self, table: str, column: str, occurrence: int
+    ) -> Span | None:
+        seen = 0
+        for index in range(len(self._tokens) - 2):
+            first, dot, third = self._tokens[index : index + 3]
+            if (
+                first.matches(TokenType.IDENT, table)
+                and dot.matches(TokenType.PUNCT, ".")
+                and third.matches(TokenType.IDENT, column)
+            ):
+                if seen == occurrence:
+                    return Span(
+                        first.position, third.position + len(column)
+                    )
+                seen += 1
+        return None

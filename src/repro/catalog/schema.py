@@ -63,8 +63,10 @@ class TableSchema:
     Attributes:
         name: table name (upper case by convention).
         columns: ordered column definitions.
-        primary_key: names of the key columns (informational; used by
-            workload generators and docs, not enforced as an index).
+        primary_key: names of the key columns.  Not enforced as an
+            index, but key columns reject NULL at insert time — the
+            static nullability inference (``repro.analysis``) treats
+            them as NOT NULL, so the store must uphold that.
     """
 
     name: str
@@ -118,6 +120,13 @@ class TableSchema:
                 raise CatalogError(
                     f"value {value!r} is not valid for column"
                     f" {self.name}.{column.name} of type {column.ctype.value}"
+                )
+            if value is None and column.name in self.primary_key:
+                # The nullability inference treats key columns as NOT
+                # NULL; enforce the constraint the inference relies on.
+                raise CatalogError(
+                    f"NULL is not allowed in key column"
+                    f" {self.name}.{column.name}"
                 )
 
 

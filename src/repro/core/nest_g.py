@@ -25,7 +25,7 @@ from dataclasses import dataclass, replace
 
 from repro.catalog.catalog import Catalog
 from repro.core.classify import catalog_resolver, ensure_transformable
-from repro.core.nest_ja import apply_nest_ja
+from repro.core.nest_ja import apply_nest_ja, apply_nest_ja_outer_naive
 from repro.core.nest_ja2 import apply_nest_ja2
 from repro.core.nest_nj import apply_nest_nj, dedupe_inner_setup
 from repro.core.transform import TempTableDef
@@ -115,7 +115,7 @@ class _NestG:
         dedupe_inner: bool,
         join_method: str,
     ) -> None:
-        if ja_algorithm not in ("ja2", "kim"):
+        if ja_algorithm not in ("ja2", "kim", "kim-outer"):
             raise TransformError(f"unknown JA algorithm {ja_algorithm!r}")
         self.catalog = catalog
         self.ja_algorithm = ja_algorithm
@@ -223,6 +223,14 @@ class _NestG:
         fresh = lambda: self.catalog.create_temp_name("TEMP")
         if self.ja_algorithm == "ja2":
             result = apply_nest_ja2(
+                inner,
+                has_column,
+                fresh,
+                outer_tables=inner_env,
+                outer_block=block,
+            )
+        elif self.ja_algorithm == "kim-outer":
+            result = apply_nest_ja_outer_naive(
                 inner,
                 has_column,
                 fresh,

@@ -36,11 +36,8 @@ from repro.sql.ast import (
     ColumnRef,
     Comparison,
     Expr,
-    FuncCall,
-    ScalarSubquery,
     Select,
     SelectItem,
-    Star,
     TableRef,
     make_and,
 )
@@ -103,3 +100,43 @@ def apply_nest_ja(
         f"{temp_name} (operators preserved)",
     ]
     return TransformResult(setup=[temp], query=rewritten, trace=trace)
+
+
+def apply_nest_ja_outer_naive(
+    inner: Select,
+    has_column: ColumnResolver,
+    fresh_name,
+    outer_tables: dict[str, str],
+    outer_block: Select | None = None,
+) -> TransformResult:
+    """The naive outer-join fix — **kept buggy on purpose** (section 5.4).
+
+    The obvious repair for Kim's COUNT bug is to outer-join the inner
+    relation with the outer relation's join column before grouping, so
+    empty groups exist and COUNT yields 0.  Done naively — joining the
+    outer column *without eliminating duplicates first* — it trades the
+    COUNT bug for the duplicates bug: a join value appearing k times in
+    the outer relation lands k copies of every matching inner row in
+    one group, so COUNT (and SUM/AVG) come out k times too large.
+
+    Implemented as NEST-JA2 minus its step-1 ``DISTINCT``: identical
+    temp chain, but the outer projection keeps duplicates.  The Kim-bug
+    lint's KB003 rule exists to catch exactly this shape.
+    """
+    from dataclasses import replace
+
+    from repro.core.nest_ja2 import apply_nest_ja2
+
+    result = apply_nest_ja2(
+        inner, has_column, fresh_name, outer_tables, outer_block
+    )
+    temp1 = result.setup[0]
+    result.setup[0] = TempTableDef(
+        temp1.name, replace(temp1.query, distinct=False)
+    )
+    result.trace.insert(
+        1,
+        "NEST-JA (naive outer fix): step-1 DISTINCT dropped — outer "
+        "duplicates flow into the aggregate (section 5.4 bug)",
+    )
+    return result

@@ -52,7 +52,6 @@ from repro.sql.ast import (
     FuncCall,
     Select,
     SelectItem,
-    Star,
     TableRef,
     column_refs,
     conjuncts,

@@ -68,7 +68,6 @@ def prepare_query(
     Shared by the pipeline and the planner so both reason about the
     same normalized tree.
     """
-    from repro.sql.analysis import ColumnResolver
     from repro.sql.ast import TableRef, walk
     from repro.sql.qualify import qualify
 
@@ -115,6 +114,7 @@ class Engine:
         dedupe_outer: bool = False,
         exists_count_mode: str = "star",
         quantifier_mode: str = "exact",
+        verify: bool = True,
     ) -> None:
         self.catalog = catalog
         self.join_method = join_method
@@ -123,6 +123,13 @@ class Engine:
         self.dedupe_outer = dedupe_outer
         self.exists_count_mode = exists_count_mode
         self.quantifier_mode = quantifier_mode
+        #: Run the static plan verifier + Kim-bug lint after NEST-G.
+        #: With the paper-correct ``ja_algorithm="ja2"`` any error
+        #: finding aborts the run; with the deliberately buggy
+        #: algorithms ("kim", "kim-outer") findings are collected as
+        #: warnings in ``last_findings`` so the bug gallery still runs.
+        self.verify = verify
+        self.last_findings = None
 
     # -- public API ----------------------------------------------------------
 
@@ -328,6 +335,40 @@ class Engine:
         report.trace = [*choice.describe().splitlines(), *report.trace]
         return report
 
+    def _verify_transform(self, rewritten: Select, transform) -> list[str]:
+        """Mandatory post-transform static checks (see ``verify``).
+
+        Returns trace lines describing the verification outcome.  The
+        scope check on the *qualified* input AST runs first (PV003
+        enforces that qualification really qualified everything), then
+        the plan verifier walks the temp chain and canonical query, and
+        the Kim-bug lint looks for the paper's section 5 shapes.
+        """
+        from repro.analysis import lint_transform, verify_nested, verify_transform
+
+        findings = verify_nested(rewritten, self.catalog, require_qualified=True)
+        plan_findings, temps = verify_transform(
+            transform, self.catalog, join_method=self.join_method
+        )
+        findings.extend(plan_findings)
+        findings.extend(lint_transform(transform, self.catalog, temps))
+        self.last_findings = findings
+
+        if self.ja_algorithm == "ja2":
+            findings.raise_errors("static verification of transformed plan")
+            return [
+                f"verifier: {len(findings)} finding(s), no errors"
+                if findings
+                else "verifier: plan ok"
+            ]
+        # Deliberately buggy algorithm: keep the findings as warnings so
+        # the section 5 bug gallery can still execute the plan.
+        return [
+            f"verifier (not enforced for ja={self.ja_algorithm}): "
+            f"[{d.rule}] {d.message}"
+            for d in findings
+        ] or ["verifier: plan ok"]
+
     def _run_transform(self, select: Select) -> RunReport:
         before = self.catalog.buffer.stats()
         try:
@@ -338,6 +379,11 @@ class Engine:
                 ja_algorithm=self.ja_algorithm,
                 dedupe_inner=self.dedupe_inner,
                 join_method=self.join_method,
+            )
+            verify_trace = (
+                self._verify_transform(rewritten, transform)
+                if self.verify
+                else []
             )
 
             steps: list[str] = []
@@ -376,7 +422,7 @@ class Engine:
                 join_method=self.join_method,
                 canonical_sql=to_sql(transform.query),
                 setup_sql=[d.describe() for d in transform.setup],
-                trace=transform.trace,
+                trace=transform.trace + verify_trace,
                 steps=steps,
                 temp_pages=temp_pages,
             )

@@ -25,7 +25,7 @@ noise, so every divergence is a real semantics difference.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import schema

@@ -18,6 +18,13 @@ paper-faithful defaults reproduce Kim's Lemma-1 multiplicity caveat by
 design, and the difftest's job is to check the *fixed-up* pipeline
 against real SQL semantics.
 
+Static analysis rides along on every leg: the engine's default
+``verify=True`` runs the plan verifier + Kim-bug lint
+(:mod:`repro.analysis`) over each transformed plan before execution,
+and the nested-iteration executor verifies scope well-formedness over
+the raw AST — so every generated query also regression-tests the
+static analyses against the oracle-checked runtime behavior.
+
 Known dialect differences (the allowlist) are enforced structurally
 rather than filtered after the fact: the grammar generates none of
 

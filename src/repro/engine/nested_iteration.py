@@ -44,10 +44,8 @@ from repro.sql.ast import (
     Expr,
     FuncCall,
     Select,
-    SelectItem,
     Star,
     conjuncts,
-    contains_aggregate,
 )
 from repro.sql.printer import to_sql
 
@@ -82,11 +80,13 @@ class NestedIterationExecutor(SubqueryHandler):
         materialize_uncorrelated: bool = True,
         use_indexes: bool = True,
         memoize_correlated: bool = True,
+        verify: bool = True,
     ) -> None:
         self.catalog = catalog
         self.materialize_uncorrelated = materialize_uncorrelated
         self.use_indexes = use_indexes
         self.memoize_correlated = memoize_correlated
+        self.verify = verify
         self._scalar_cache: dict[int, object] = {}
         self._column_cache: dict[int, Relation | list[object]] = {}
         self._index_plans: dict[int, object] = {}
@@ -104,6 +104,8 @@ class NestedIterationExecutor(SubqueryHandler):
 
     def execute(self, select: Select) -> QueryResult:
         """Run a (possibly nested) query and return its result."""
+        if self.verify:
+            self._verify(select)
         self._scalar_cache.clear()
         self._column_cache.clear()
         self._index_plans.clear()
@@ -118,6 +120,22 @@ class NestedIterationExecutor(SubqueryHandler):
             self._drop_materialized()
         names = self._output_names(select)
         return QueryResult(columns=names, rows=rows)
+
+    def _verify(self, select: Select) -> None:
+        """Static scope check before any page is touched.
+
+        Unresolvable or ambiguous references surface as
+        ``ColumnVerificationError`` (a ``BindError``) up front instead
+        of mid-iteration.  Unknown tables are left for the catalog to
+        report (``CatalogError``), and the check is skipped entirely in
+        that case so cascading column findings don't mask it.
+        """
+        from repro.analysis.verifier import verify_nested
+
+        findings = verify_nested(select, self.catalog)
+        if findings.by_rule("PV004"):
+            return
+        findings.raise_errors("static verification before nested iteration")
 
     # -- SubqueryHandler -------------------------------------------------
 

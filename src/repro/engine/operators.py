@@ -39,7 +39,7 @@ from repro.catalog.catalog import TableEntry
 from repro.engine.aggregate import AggSpec, apply_specs
 from repro.engine.compile import try_compile_predicate, try_compile_scalar
 from repro.engine.expression import EvalContext, eval_predicate, eval_scalar
-from repro.engine.relation import Relation, temp_rows_per_page
+from repro.engine.relation import Relation
 from repro.engine.schema import RowSchema
 from repro.engine.sort import _orderable
 from repro.errors import ExecutionError

@@ -67,3 +67,29 @@ class TransformError(ReproError):
 
 class PlanError(ReproError):
     """Raised when the planner cannot produce a plan for a query."""
+
+
+class VerificationError(PlanError):
+    """Raised when the static plan verifier rejects a plan.
+
+    Subclasses :class:`PlanError` because a plan that fails static
+    verification is a plan the executors must not run; callers that
+    already handle planning failures keep working.
+
+    Attributes:
+        diagnostics: the :class:`repro.analysis.Diagnostic` findings
+            that caused the rejection (empty for ad-hoc raises).
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
+class ColumnVerificationError(VerificationError, BindError):
+    """Static-verifier rejection for an unresolvable or ambiguous column.
+
+    Also a :class:`BindError`: the verifier reports statically what the
+    executors would otherwise raise as a bind failure at runtime, so
+    code catching either class behaves the same.
+    """

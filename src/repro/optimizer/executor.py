@@ -56,7 +56,6 @@ from repro.sql.ast import (
     Star,
     column_refs,
     conjuncts,
-    contains_aggregate,
     make_and,
     walk,
 )
@@ -74,12 +73,18 @@ class _State:
 class SingleLevelExecutor:
     """Executes canonical queries over the storage engine."""
 
-    def __init__(self, catalog: Catalog, join_method: str = "merge") -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        join_method: str = "merge",
+        verify: bool = True,
+    ) -> None:
         if join_method not in ("merge", "nested", "hash"):
             raise PlanError(f"unknown join method {join_method!r}")
         self.catalog = catalog
         self.buffer = catalog.buffer
         self.join_method = join_method
+        self.verify = verify
         self.steps: list[str] = []
 
     # -- public API --------------------------------------------------------
@@ -88,6 +93,8 @@ class SingleLevelExecutor:
         """Run a single-level query, returning a materialized relation."""
         self.steps = []
         self._reject_subqueries(select)
+        if self.verify:
+            self._verify(select)
         self._binding_columns = {
             ref.binding: set(self.catalog.schema_of(ref.name).column_names)
             for ref in select.from_tables
@@ -111,6 +118,27 @@ class SingleLevelExecutor:
         if select.order_by:
             result = self._order_output(select, result)
         return result
+
+    def _verify(self, select: Select) -> None:
+        """Static invariants before the first page is read.
+
+        The verifier mirrors this executor's own rules (resolution,
+        grouped output, ORDER BY, outer-join shape), so anything it
+        raises would have failed mid-plan anyway — but it fails *here*,
+        with every violation listed, before any I/O.  Unknown tables
+        are left to the catalog lookup below (``CatalogError``), and
+        the check steps aside entirely then so cascading column
+        findings don't shadow it.  PV005 (hash keys) is advisory — only
+        error findings raise.
+        """
+        from repro.analysis.verifier import verify_single_level
+
+        findings = verify_single_level(
+            select, self.catalog, join_method=self.join_method
+        )
+        if findings.by_rule("PV004"):
+            return
+        findings.raise_errors("static verification of canonical query")
 
     def output_names(self, select: Select) -> list[str]:
         """Output column names for registering the result as a table."""

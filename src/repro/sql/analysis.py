@@ -16,13 +16,11 @@ from repro.errors import BindError
 from repro.sql.ast import (
     ColumnRef,
     Exists,
-    Expr,
     InSubquery,
     Node,
     Quantified,
     ScalarSubquery,
     Select,
-    column_refs,
     walk,
 )
 

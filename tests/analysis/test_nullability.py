@@ -1,0 +1,171 @@
+"""Unit tests for the type + nullability inference (3VL-aware)."""
+
+from repro.analysis.nullability import (
+    Inferred,
+    NullabilityInference,
+    catalog_provider,
+    infer_query_nullability,
+)
+from repro.catalog.schema import ColumnType
+from repro.sql.parser import parse
+from repro.workloads.paper_data import (
+    load_kiessling_instance,
+    load_supplier_parts,
+)
+
+
+def infer(sql, catalog):
+    """``{output name: Inferred}`` for a query against a catalog."""
+    return dict(infer_query_nullability(parse(sql), catalog))
+
+
+class TestSchemaConstraints:
+    def test_primary_key_column_is_not_null(self):
+        catalog = load_kiessling_instance()
+        out = infer("SELECT PNUM FROM PARTS", catalog)
+        assert out["PNUM"] == Inferred(ColumnType.INT, False)
+
+    def test_non_key_column_is_nullable(self):
+        catalog = load_kiessling_instance()
+        out = infer("SELECT QOH FROM PARTS", catalog)
+        assert out["QOH"].nullable
+
+    def test_alias_keeps_inference(self):
+        catalog = load_kiessling_instance()
+        out = infer("SELECT PARTS.PNUM AS P FROM PARTS", catalog)
+        assert out["P"].nullable is False
+
+
+class TestAggregates:
+    def test_count_is_never_null(self):
+        # Section 5.1/5.2: an empty group counts 0, never NULL.
+        catalog = load_kiessling_instance()
+        out = infer("SELECT COUNT(SHIPDATE) FROM SUPPLY", catalog)
+        (fact,) = out.values()
+        assert fact == Inferred(ColumnType.INT, False)
+
+    def test_count_star_is_never_null(self):
+        catalog = load_kiessling_instance()
+        out = infer("SELECT COUNT(*) FROM SUPPLY", catalog)
+        (fact,) = out.values()
+        assert fact.nullable is False
+
+    def test_sum_of_empty_group_is_null(self):
+        catalog = load_kiessling_instance()
+        out = infer("SELECT SUM(QUAN) FROM SUPPLY", catalog)
+        (fact,) = out.values()
+        assert fact.nullable
+        assert fact.ctype is ColumnType.INT
+
+    def test_max_of_not_null_column_is_still_nullable(self):
+        # MAX over an empty group is NULL even when the column is NOT
+        # NULL — the key of the section 5.3 scalar-subquery semantics.
+        catalog = load_kiessling_instance()
+        out = infer("SELECT MAX(PNUM) FROM PARTS", catalog)
+        (fact,) = out.values()
+        assert fact.nullable
+
+    def test_avg_is_float(self):
+        catalog = load_kiessling_instance()
+        out = infer("SELECT AVG(QUAN) FROM SUPPLY", catalog)
+        (fact,) = out.values()
+        assert fact.ctype is ColumnType.FLOAT
+
+
+class TestOuterJoinPadding:
+    def test_padded_side_primary_key_becomes_nullable(self):
+        # `=+` preserves the left operand's relation and NULL-pads the
+        # right one: PARTS.PNUM is a NOT NULL key column, but on the
+        # padded side of the outer join it turns nullable.
+        catalog = load_kiessling_instance()
+        out = infer(
+            "SELECT SUPPLY.QUAN, PARTS.PNUM FROM SUPPLY, PARTS "
+            "WHERE SUPPLY.PNUM =+ PARTS.PNUM",
+            catalog,
+        )
+        assert out["PNUM"].nullable  # padded side, despite the key
+
+    def test_plain_join_does_not_pad(self):
+        catalog = load_kiessling_instance()
+        out = infer(
+            "SELECT PARTS.PNUM FROM PARTS, SUPPLY "
+            "WHERE PARTS.PNUM = SUPPLY.PNUM",
+            catalog,
+        )
+        assert out["PNUM"].nullable is False
+
+
+class TestScalarSubqueries:
+    def test_correlated_count_subquery_is_not_null(self):
+        catalog = load_kiessling_instance()
+        out = infer(
+            "SELECT (SELECT COUNT(SHIPDATE) FROM SUPPLY "
+            "WHERE SUPPLY.PNUM = PARTS.PNUM) AS N FROM PARTS",
+            catalog,
+        )
+        assert out["N"].nullable is False
+
+    def test_non_count_aggregate_subquery_is_nullable(self):
+        catalog = load_kiessling_instance()
+        out = infer(
+            "SELECT (SELECT MAX(QUAN) FROM SUPPLY "
+            "WHERE SUPPLY.PNUM = PARTS.PNUM) AS M FROM PARTS",
+            catalog,
+        )
+        assert out["M"].nullable
+
+    def test_plain_scalar_subquery_may_have_zero_rows(self):
+        # No aggregate: zero inner rows evaluate to NULL, so even a
+        # NOT NULL source column comes back nullable.
+        catalog = load_kiessling_instance()
+        out = infer(
+            "SELECT (SELECT SUPPLY.PNUM FROM SUPPLY "
+            "WHERE SUPPLY.PNUM = PARTS.PNUM) AS M FROM PARTS",
+            catalog,
+        )
+        assert out["M"].nullable
+
+
+class TestExpressions:
+    def test_division_is_float(self):
+        catalog = load_kiessling_instance()
+        out = infer("SELECT PNUM / 2 AS H FROM PARTS", catalog)
+        assert out["H"].ctype is ColumnType.FLOAT
+
+    def test_arithmetic_propagates_nullability(self):
+        catalog = load_kiessling_instance()
+        out = infer(
+            "SELECT PNUM + 1 AS A, QOH + 1 AS B FROM PARTS", catalog
+        )
+        assert out["A"].nullable is False
+        assert out["B"].nullable
+
+    def test_literals(self):
+        catalog = load_kiessling_instance()
+        out = infer("SELECT 1 AS ONE, NULL AS NOTHING FROM PARTS", catalog)
+        assert out["ONE"] == Inferred(ColumnType.INT, False)
+        assert out["NOTHING"].nullable
+
+    def test_text_columns(self):
+        catalog = load_supplier_parts()
+        out = infer("SELECT SNO, SNAME FROM S", catalog)
+        assert out["SNO"] == Inferred(ColumnType.TEXT, False)  # key
+        assert out["SNAME"].nullable
+
+
+class TestProviderOverlay:
+    def test_temp_overlay_wins_over_catalog(self):
+        catalog = load_kiessling_instance()
+        temps = {"PARTS": {"X": Inferred(ColumnType.INT, True)}}
+        provider = catalog_provider(catalog, temps)
+        assert provider("PARTS") == temps["PARTS"]
+        assert provider("SUPPLY") is not None
+        assert provider("NOPE") is None
+
+    def test_unresolvable_reference_is_unknown(self):
+        catalog = load_kiessling_instance()
+        inference = NullabilityInference(catalog_provider(catalog))
+        select = parse("SELECT NOPE FROM PARTS")
+        scope = inference.scope_for(select)
+        fact = inference.infer_expr(select.items[0].expr, scope)
+        assert fact.nullable  # unknown leans nullable: sound, not complete

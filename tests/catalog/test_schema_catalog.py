@@ -51,8 +51,13 @@ class TestSchema:
         with pytest.raises(CatalogError):
             PARTS.validate_row(("three", 6))
 
-    def test_null_is_valid_for_any_type(self):
-        PARTS.validate_row((None, None))
+    def test_null_is_valid_for_non_key_columns(self):
+        PARTS.validate_row((1, None))
+        SUPPLY.validate_row((None, None, None))  # keyless table
+
+    def test_null_rejected_in_key_column(self):
+        with pytest.raises(CatalogError):
+            PARTS.validate_row((None, None))
 
     def test_bool_is_not_an_int(self):
         with pytest.raises(CatalogError):
