@@ -1,0 +1,13 @@
+"""Serving-layer throughput benchmark (thin wrapper).
+
+See :mod:`repro.bench.throughput` for the measurement protocol.
+Writes ``BENCH_PR5.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke
+"""
+
+from repro.bench.throughput import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ verifier + Kim-bug lint::
     python -m repro difftest --examples 500 --seed 0
     python -m repro check --figure1
     python -m repro check --instance kiessling --ja kim "SELECT ..."
+    python -m repro serve                 # REPL with the plan cache on
+    python -m repro bench-throughput --smoke
 
 In the REPL, statements end with ``;``.  Backslash commands control
 the session::
@@ -21,6 +23,7 @@ the session::
     \\analyze [TABLE]       collect optimizer statistics
     \\index TABLE COLUMN    build an index (used by nested iteration)
     \\tables                list tables
+    \\cache                 plan-cache counters (hits/misses/...)
     \\io                    cumulative page-I/O counters
     \\reset                 zero the counters and cool the cache
     \\help                  this text
@@ -74,13 +77,20 @@ _LOADERS = {
 
 
 class Shell:
-    """State and command dispatch for the REPL."""
+    """State and command dispatch for the REPL.
 
-    def __init__(self, out=sys.stdout) -> None:
+    With ``serve=True`` (the ``python -m repro serve`` subcommand),
+    SELECT statements run through the plan cache: repeated queries —
+    even with different predicate literals — replay an already-verified
+    plan instead of re-planning.  ``\\cache`` shows the counters.
+    """
+
+    def __init__(self, out=sys.stdout, serve: bool = False) -> None:
         self.db = Database(buffer_pages=8)
         self.method = "auto"
         self.out = out
         self.done = False
+        self.serve = serve
 
     # -- I/O helpers ---------------------------------------------------------
 
@@ -213,12 +223,25 @@ class Shell:
             return
         self.say(choice.describe())
 
+    def _cmd_cache(self, _argument: str) -> None:
+        self.say(self.db.cache_stats().format())
+
     # -- statements ------------------------------------------------------------
+
+    def _execute(self, sql: str):
+        """Run one statement, via the plan cache in serve mode."""
+        if self.serve:
+            from repro.sql.ast import Select
+            from repro.sql.statements import parse_statement
+
+            if isinstance(parse_statement(sql), Select):
+                return self.db.execute_cached(sql, method=self.method).result
+        return self.db.execute(sql, method=self.method)
 
     def _statement(self, sql: str) -> None:
         try:
             before = self.db.io_stats()
-            outcome = self.db.execute(sql, method=self.method)
+            outcome = self._execute(sql)
             delta = self.db.io_stats() - before
         except ReproError as error:
             self.say(f"error: {error}")
@@ -232,10 +255,13 @@ class Shell:
         self.say(f"({len(outcome.rows)} row(s), {delta.format()})")
 
 
-def repl(stdin=sys.stdin, stdout=sys.stdout) -> int:
+def repl(stdin=sys.stdin, stdout=sys.stdout, serve: bool = False) -> int:
     """Run the interactive loop; returns the process exit code."""
-    shell = Shell(out=stdout)
+    shell = Shell(out=stdout, serve=serve)
     shell.say(BANNER)
+    if serve:
+        shell.say("serving mode: SELECTs run through the plan cache "
+                  "(\\cache shows counters)")
     buffer: list[str] = []
     interactive = stdin.isatty()
 
@@ -277,9 +303,16 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.check import main as check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return repl(serve=True)
+    if argv and argv[0] == "bench-throughput":
+        from repro.bench.throughput import main as throughput_main
+
+        return throughput_main(argv[1:])
     if argv:
         print(f"unknown subcommand {argv[0]!r}; usage: python -m repro "
-              "[difftest --examples N --seed S | check QUERY ...]",
+              "[difftest --examples N --seed S | check QUERY ... | "
+              "serve | bench-throughput ...]",
               file=sys.stderr)
         return 2
     return repl()

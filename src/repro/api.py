@@ -56,6 +56,11 @@ class Database:
         dedupe_outer: apply the rowid-based semijoin fix-up that
             restores nested-iteration multiplicities after a type-J
             merge (the modern answer to Kim's Lemma-1 caveat).
+        plan_cache_size: capacity of the serving-layer plan cache used
+            by :meth:`execute_cached` / :meth:`prepare` (default 128).
+        io_delay: simulated per-page-read latency in seconds (sleeps
+            outside all locks, so concurrent reads overlap — used by
+            the throughput benchmark to model I/O-bound workloads).
     """
 
     def __init__(
@@ -65,16 +70,23 @@ class Database:
         ja_algorithm: str = "ja2",
         dedupe_inner: bool = False,
         dedupe_outer: bool = False,
+        plan_cache_size: int = 128,
+        io_delay: float = 0.0,
     ) -> None:
-        self.disk = DiskManager()
+        from repro.serve.cache import PlanCache
+
+        self.disk = DiskManager(io_delay=io_delay)
         self.buffer = BufferPool(self.disk, capacity=buffer_pages)
         self.catalog = Catalog(self.buffer)
+        self.plan_cache = PlanCache(capacity=plan_cache_size)
+        self.plan_cache.attach(self.catalog)
         self.engine = Engine(
             self.catalog,
             join_method=join_method,
             ja_algorithm=ja_algorithm,
             dedupe_inner=dedupe_inner,
             dedupe_outer=dedupe_outer,
+            plan_cache=self.plan_cache,
         )
 
     # -- DDL / DML -------------------------------------------------------
@@ -108,14 +120,17 @@ class Database:
             tuple(built),
             tuple(key.upper() for key in primary_key),
         )
-        self.catalog.create_table(table_schema, rows_per_page=rows_per_page)
+        with self.catalog.write_lock():
+            self.catalog.create_table(table_schema, rows_per_page=rows_per_page)
 
     def drop_table(self, name: str) -> None:
-        self.catalog.drop_table(name.upper())
+        with self.catalog.write_lock():
+            self.catalog.drop_table(name.upper())
 
     def insert(self, table: str, rows: Iterable[tuple]) -> int:
         """Insert rows; returns the number inserted."""
-        return self.catalog.insert(table.upper(), rows)
+        with self.catalog.write_lock():
+            return self.catalog.insert(table.upper(), rows)
 
     def tables(self) -> list[str]:
         return self.catalog.table_names()
@@ -127,7 +142,8 @@ class Database:
         System R access-path accelerator), and the cost-based planner
         takes them into account.  Indexes are rebuilt after inserts.
         """
-        self.catalog.create_index(table.upper(), column.upper())
+        with self.catalog.write_lock():
+            self.catalog.create_index(table.upper(), column.upper())
 
     def analyze(self, table: str | None = None) -> None:
         """Collect optimizer statistics (ANALYZE), one table or all.
@@ -138,10 +154,11 @@ class Database:
         """
         from repro.catalog.statistics import analyze_all, analyze_table
 
-        if table is None:
-            analyze_all(self.catalog)
-        else:
-            analyze_table(self.catalog, table.upper())
+        with self.catalog.write_lock():
+            if table is None:
+                analyze_all(self.catalog)
+            else:
+                analyze_table(self.catalog, table.upper())
 
     # -- statements ----------------------------------------------------------
 
@@ -190,6 +207,36 @@ class Database:
     def explain(self, sql: str) -> str:
         """The transformation plan NEST-G produces for a query."""
         return self.engine.explain(sql)
+
+    # -- serving -----------------------------------------------------------
+
+    def prepare(self, sql: str, method: str = "auto"):
+        """Plan a parameterized statement once; bind + execute many times.
+
+        Returns a :class:`repro.serve.PreparedStatement`.  Bind values
+        positionally (``?`` markers) or by name (``:name`` markers)::
+
+            stmt = db.prepare("SELECT PNUM FROM PARTS WHERE QOH >= ?")
+            stmt.execute((10,))
+            stmt = db.prepare("... WHERE QOH BETWEEN :lo AND :hi")
+            stmt.execute({"lo": 0, "hi": 5})
+        """
+        return self.engine.prepare(sql, method=method)
+
+    def execute_cached(
+        self, sql: str, params: tuple = (), method: str = "auto"
+    ) -> RunReport:
+        """Run a query through the plan cache (see ``plan_cache_size``).
+
+        The SQL is normalized — predicate literals are parameterized and
+        the text canonicalized — so textual/literal variants of one
+        query shape share a cached, already-verified plan.
+        """
+        return self.engine.run_cached(sql, params=params, method=method)
+
+    def cache_stats(self):
+        """Hit/miss/invalidation/eviction counters of the plan cache."""
+        return self.plan_cache.stats()
 
     # -- statistics ----------------------------------------------------------
 

@@ -38,6 +38,7 @@ def measure(
     join_method: str = "merge",
     ja_algorithm: str = "ja2",
     dedupe_inner: bool = False,
+    dedupe_outer: bool = False,
 ) -> MeasuredRun:
     """Run one query cold and return rows + page I/O + wall time."""
     engine = Engine(
@@ -45,6 +46,7 @@ def measure(
         join_method=join_method,
         ja_algorithm=ja_algorithm,
         dedupe_inner=dedupe_inner,
+        dedupe_outer=dedupe_outer,
     )
     catalog.buffer.evict_all()
     catalog.buffer.reset_stats()

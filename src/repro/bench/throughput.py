@@ -1,0 +1,345 @@
+"""Serving-layer throughput benchmark: cold vs cached vs prepared.
+
+Times the Figure-1 workloads through three execution paths:
+
+* **cold** — the full pipeline per call (parse → qualify → rewrite →
+  NEST-G → verify → lint → build temps → final query), what a naive
+  server would do for every request;
+* **cached** — ``Engine.run_cached``: normalize, hit the plan cache,
+  replay the already-verified plan (materialized temps memoized per
+  parameter sub-vector);
+* **prepared** — ``PreparedStatement.execute``: no per-call parsing or
+  normalization at all, the vector binds straight into the compiled
+  plan.
+
+Latency legs run single-threaded with zero simulated I/O delay and
+report QPS plus p50/p99 per-call latency.  The thread-scaling legs run
+the cached path from 1, 4, and 8 worker threads over a larger instance
+with a per-page-read delay (the sleep happens outside all locks, so
+concurrent faults overlap — an I/O-bound workload): QPS should rise
+with the thread count because the lock-striped buffer pool and the
+re-entrant catalog read lock let replays proceed concurrently.
+
+Every path's rows are checked identical to the cold path's, and the
+cold rows are checked against the SQLite oracle, so the benchmark can
+never time a wrong answer.  Results land in ``BENCH_PR5.json``:
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+
+``--smoke`` runs a reduced matrix and exits non-zero unless the cached
+path is at least 1.5x faster than cold on every workload; CI runs it
+as a perf-regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import threading
+import time
+from collections import Counter
+
+from repro.core.pipeline import Engine
+from repro.difftest.normalize import normalize_rows
+from repro.difftest.oracle import SQLiteOracle
+from repro.serve.cache import PlanCache
+from repro.workloads.generators import (
+    CUTOFF,
+    GENERATED_J_QUERY,
+    GENERATED_JA_QUERY,
+    GENERATED_N_QUERY,
+    PartsSupplySpec,
+    build_parts_supply,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR5.json"
+
+#: The Figure-1 workloads.  ``param_query``/``params`` is the prepared
+#: variant: the predicate literal becomes an explicit bind marker.
+WORKLOADS = [
+    {
+        "name": "figure1-type-n",
+        "query": GENERATED_N_QUERY,
+        "param_query": (
+            "SELECT PNUM FROM PARTS WHERE PNUM IN "
+            "(SELECT PNUM FROM SUPPLY WHERE SHIPDATE < ?)"
+        ),
+        "params": (CUTOFF,),
+        "dedupe_inner": True,
+    },
+    {
+        "name": "figure1-type-j",
+        "query": GENERATED_J_QUERY,
+        "param_query": GENERATED_J_QUERY,
+        "params": (),
+        "dedupe_inner": False,
+        # NEST-N-J at the root of a type-J query can fan out outer
+        # rows (the Lemma-1 caveat); the rowid fix-up restores
+        # nested-iteration multiplicities, keeping every path's rows
+        # comparable to the SQLite oracle.
+        "dedupe_outer": True,
+        # The transformed type-J plan is a flat join with no setup
+        # temps, so a cache hit only skips planning/verification —
+        # execution dominates and the speedup is modest.  The gate
+        # just requires the cached path not to be slower.
+        "min_speedup": 1.0,
+    },
+    {
+        "name": "figure1-type-ja",
+        "query": GENERATED_JA_QUERY,
+        "param_query": (
+            "SELECT PNUM FROM PARTS WHERE QOH = "
+            "(SELECT COUNT(SHIPDATE) FROM SUPPLY "
+            "WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < ?)"
+        ),
+        "params": (CUTOFF,),
+        "dedupe_inner": False,
+    },
+]
+
+#: Instance for the single-thread latency legs (no simulated I/O).
+LATENCY_SPEC = PartsSupplySpec(
+    num_parts=50, num_supply=200, rows_per_page=10, buffer_pages=16, seed=13
+)
+
+#: Larger, I/O-bound instance for the thread-scaling legs: the buffer
+#: is far smaller than the working set, so every replay keeps faulting
+#: pages whose simulated read delay overlaps across threads.
+SCALING_SPEC = PartsSupplySpec(
+    num_parts=150, num_supply=1200, rows_per_page=10, buffer_pages=24, seed=17
+)
+SCALING_IO_DELAY = 0.0003
+THREAD_COUNTS = (1, 4, 8)
+
+
+def _percentile(latencies: list[float], fraction: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _timed(call, iters: int) -> dict:
+    """Run ``call`` ``iters`` times; QPS + p50/p99 latency in seconds."""
+    latencies = []
+    for _ in range(iters):
+        start = time.perf_counter()
+        call()
+        latencies.append(time.perf_counter() - start)
+    return {
+        "iters": iters,
+        "qps": round(iters / sum(latencies), 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+        "mean_ms": round(statistics.mean(latencies) * 1000, 3),
+    }
+
+
+def _check_rows(name: str, leg: str, rows, reference) -> None:
+    if Counter(rows) != Counter(reference):
+        raise AssertionError(
+            f"{name}: {leg} produced different rows than the cold path"
+        )
+
+
+def measure_latency(workload: dict, iters: int) -> list[dict]:
+    """Single-thread QPS/latency for cold, cached, and prepared."""
+    catalog = build_parts_supply(LATENCY_SPEC)
+    cache = PlanCache()
+    cache.attach(catalog)
+    engine = Engine(
+        catalog,
+        plan_cache=cache,
+        dedupe_inner=workload["dedupe_inner"],
+        dedupe_outer=workload.get("dedupe_outer", False),
+    )
+    name = workload["name"]
+
+    cold_report = engine.run(workload["query"], method="transform")
+    reference = cold_report.result.rows
+    with SQLiteOracle(catalog) as oracle:
+        oracle_rows = oracle.run(workload["query"])
+    if normalize_rows(reference) != normalize_rows(oracle_rows):
+        raise AssertionError(f"{name}: cold path disagrees with SQLite")
+
+    records = []
+
+    cold = _timed(
+        lambda: engine.run(workload["query"], method="transform"), iters
+    )
+    records.append({"workload": name, "op": "cold", "threads": 1, **cold})
+
+    cached_rows = engine.run_cached(
+        workload["query"], method="transform"
+    ).result.rows
+    _check_rows(name, "cached", cached_rows, reference)
+    cached = _timed(
+        lambda: engine.run_cached(workload["query"], method="transform"),
+        iters,
+    )
+    records.append({"workload": name, "op": "cached", "threads": 1, **cached})
+
+    statement = engine.prepare(workload["param_query"], method="transform")
+    prepared_rows = statement.execute(workload["params"]).result.rows
+    _check_rows(name, "prepared", prepared_rows, reference)
+    prepared = _timed(lambda: statement.execute(workload["params"]), iters)
+    records.append(
+        {"workload": name, "op": "prepared", "threads": 1, **prepared}
+    )
+    return records
+
+
+def measure_scaling(workload: dict, calls_per_thread: int) -> list[dict]:
+    """Cached-path QPS from 1/4/8 worker threads on an I/O-bound instance."""
+    catalog = build_parts_supply(SCALING_SPEC)
+    catalog.buffer.disk.io_delay = SCALING_IO_DELAY
+    cache = PlanCache()
+    cache.attach(catalog)
+    engine = Engine(
+        catalog,
+        plan_cache=cache,
+        dedupe_inner=workload["dedupe_inner"],
+        dedupe_outer=workload.get("dedupe_outer", False),
+    )
+    name = workload["name"]
+    reference = engine.run_cached(
+        workload["query"], method="transform"
+    ).result.rows
+
+    records = []
+    for threads in THREAD_COUNTS:
+        failures: list[BaseException] = []
+
+        def worker() -> None:
+            try:
+                for _ in range(calls_per_thread):
+                    report = engine.run_cached(
+                        workload["query"], method="transform"
+                    )
+                    _check_rows(name, "threaded", report.result.rows, reference)
+            except BaseException as error:  # surface in the main thread
+                failures.append(error)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        start = time.perf_counter()
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if failures:
+            raise failures[0]
+        total = threads * calls_per_thread
+        records.append(
+            {
+                "workload": name,
+                "op": "cached",
+                "threads": threads,
+                "iters": total,
+                "qps": round(total / elapsed, 1),
+                "io_delay": SCALING_IO_DELAY,
+            }
+        )
+    return records
+
+
+def _qps(records: list[dict], workload: str, op: str, threads: int) -> float:
+    for record in records:
+        if (
+            record["workload"] == workload
+            and record["op"] == op
+            and record["threads"] == threads
+        ):
+            return record["qps"]
+    raise KeyError((workload, op, threads))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_throughput.py",
+        description="Serving-layer throughput: cold vs cached vs prepared, "
+        "plus cached-path thread scaling.",
+    )
+    parser.add_argument(
+        "--iters", type=int, default=60,
+        help="calls per single-thread leg (default 60)",
+    )
+    parser.add_argument(
+        "--calls-per-thread", type=int, default=8,
+        help="calls each worker makes in the scaling legs (default 8)",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"result file (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced iteration counts, no result file; fail unless the "
+        "cached path is >= 1.5x cold on every workload",
+    )
+    args = parser.parse_args(argv)
+
+    iters = 15 if args.smoke else args.iters
+    calls = 3 if args.smoke else args.calls_per_thread
+
+    records: list[dict] = []
+    for workload in WORKLOADS:
+        latency = measure_latency(workload, iters)
+        records.extend(latency)
+        by_op = {r["op"]: r for r in latency}
+        print(
+            f"{workload['name']}: cold {by_op['cold']['qps']} qps, "
+            f"cached {by_op['cached']['qps']} qps "
+            f"({by_op['cached']['qps'] / by_op['cold']['qps']:.1f}x), "
+            f"prepared {by_op['prepared']['qps']} qps "
+            f"({by_op['prepared']['qps'] / by_op['cold']['qps']:.1f}x)"
+        )
+
+    scaling_workload = WORKLOADS[2]  # type-JA: temps make it I/O-heavy
+    scaling = measure_scaling(scaling_workload, calls)
+    records.extend(scaling)
+    for record in scaling:
+        print(
+            f"{record['workload']} [cached, io_delay={SCALING_IO_DELAY}]: "
+            f"{record['threads']} thread(s) -> {record['qps']} qps"
+        )
+
+    failures = []
+    for workload in WORKLOADS:
+        cold = _qps(records, workload["name"], "cold", 1)
+        cached = _qps(records, workload["name"], "cached", 1)
+        floor = workload.get("min_speedup", 1.5)
+        if cached < floor * cold:
+            failures.append(
+                f"{workload['name']}: cached only {cached / cold:.2f}x cold "
+                f"(floor {floor}x)"
+            )
+    one = next(
+        r["qps"] for r in scaling if r["threads"] == 1
+    )
+    eight = next(r["qps"] for r in scaling if r["threads"] == 8)
+    if eight <= one:
+        failures.append(
+            f"thread scaling: 8 threads ({eight} qps) not faster than "
+            f"1 thread ({one} qps)"
+        )
+
+    if args.smoke:
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        print("throughput smoke " + ("FAILED" if failures else "passed"))
+        return 1 if failures else 0
+
+    args.output.write_text(json.dumps(records, indent=2) + "\n")
+    print(f"[{len(records)} records written to {args.output}]")
+    if failures:
+        for line in failures:
+            print(f"WARN {line}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

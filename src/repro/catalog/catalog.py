@@ -9,13 +9,15 @@ after the final join.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import threading
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 from repro.catalog.schema import TableSchema
 from repro.errors import CatalogError
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import HeapFile
+from repro.storage.locks import RWLock
 
 
 @dataclass
@@ -38,10 +40,46 @@ class Catalog:
         self.buffer = buffer
         self._tables: dict[str, TableEntry] = {}
         self._temp_counter = 0
+        self._temp_lock = threading.Lock()
         #: Populated by repro.catalog.statistics.analyze_table.
         self.statistics: dict[str, "object"] = {}
         #: (table, column) → IsamIndex, via create_index().
         self.indexes: dict[tuple[str, str], "object"] = {}
+        #: Monotone counter bumped by every plan-relevant change: DDL
+        #: (CREATE/DROP TABLE, CREATE INDEX), inserts into non-temp
+        #: tables, and statistics updates.  The plan cache keys on it,
+        #: so a stale cached plan can never match after a change.
+        self.version = 0
+        self._change_hooks: list[Callable[[str, str], None]] = []
+        #: Reader-writer lock for the serving layer: worker threads
+        #: executing cached plans hold the (re-entrant) read side; DDL
+        #: and inserts take the write side.
+        self.rwlock = RWLock()
+
+    # -- change tracking -------------------------------------------------
+
+    def add_change_hook(self, hook: Callable[[str, str], None]) -> None:
+        """Register ``hook(event, table)`` to fire on plan-relevant changes.
+
+        Events: ``create_table``, ``drop_table``, ``create_index``,
+        ``insert``, ``analyze``.  Temp-table churn does not fire hooks —
+        temps are per-query scratch space, invisible to cached plans.
+        """
+        self._change_hooks.append(hook)
+
+    def bump_version(self, event: str, table: str) -> None:
+        """Advance the schema/stats version and notify hooks."""
+        self.version += 1
+        for hook in self._change_hooks:
+            hook(event, table)
+
+    def read_lock(self):
+        """Shared lock for plan execution (re-entrant per thread)."""
+        return self.rwlock.read()
+
+    def write_lock(self):
+        """Exclusive lock for DDL and DML."""
+        return self.rwlock.write()
 
     # -- DDL -------------------------------------------------------------
 
@@ -59,6 +97,8 @@ class Catalog:
         heap = HeapFile(self.buffer, rows_per_page=capacity, name=name)
         entry = TableEntry(schema=table_schema, heap=heap, is_temp=is_temp)
         self._tables[name] = entry
+        if not is_temp:
+            self.bump_version("create_table", name)
         return entry
 
     def drop_table(self, name: str) -> None:
@@ -69,6 +109,8 @@ class Catalog:
         entry.heap.truncate()
         del self._tables[name]
         self.statistics.pop(name, None)
+        if not entry.is_temp:
+            self.bump_version("drop_table", name)
 
     def create_index(self, table: str, column: str):
         """Build (or rebuild) an ISAM index on ``table.column``.
@@ -89,6 +131,8 @@ class Catalog:
             name=f"idx_{table}_{column}",
         )
         self.indexes[key] = index
+        if not entry.is_temp:
+            self.bump_version("create_index", table)
         return index
 
     def index_for(self, table: str, column: str):
@@ -122,11 +166,12 @@ class Catalog:
 
     def create_temp_name(self, prefix: str = "TEMP") -> str:
         """Return a fresh name for a transformation temp table."""
-        while True:
-            self._temp_counter += 1
-            name = f"{prefix}_{self._temp_counter}"
-            if name not in self._tables:
-                return name
+        with self._temp_lock:
+            while True:
+                self._temp_counter += 1
+                name = f"{prefix}_{self._temp_counter}"
+                if name not in self._tables:
+                    return name
 
     # -- DML -------------------------------------------------------------
 
@@ -150,7 +195,17 @@ class Catalog:
             for (table, _column), index in self.indexes.items():
                 if table == name:
                     index.build()
+            if not entry.is_temp:
+                # Inserts change cardinalities (and hence plan costs),
+                # so they invalidate cached plans like DDL does.
+                self.bump_version("insert", name)
         return count
+
+    def record_statistics(self, name: str, stats: object) -> None:
+        """Store ANALYZE output for ``name`` (bumps the plan version)."""
+        self.statistics[name] = stats
+        if not self._require(name).is_temp:
+            self.bump_version("analyze", name)
 
     # -- lookup ----------------------------------------------------------
 

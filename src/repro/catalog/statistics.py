@@ -102,7 +102,7 @@ def analyze_table(catalog: Catalog, name: str) -> TableStatistics:
             for index, column in enumerate(column_names)
         },
     )
-    catalog.statistics[name] = stats
+    catalog.record_statistics(name, stats)
     return stats
 
 

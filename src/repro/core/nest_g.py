@@ -274,16 +274,39 @@ class _NestG:
 
     def _evaluate(self, inner: Select) -> list[tuple]:
         """Evaluate an uncorrelated block, building pending temps first."""
+        from repro.errors import ParameterizedPlanError
+        from repro.sql.ast import Parameter
+
+        if any(isinstance(n, Parameter) for n in walk(inner)):
+            # The block's value would be baked into the plan as a
+            # constant, so the plan would silently depend on this
+            # particular parameter vector.  Callers that parameterize
+            # plans (the serving layer) catch this and plan per vector.
+            raise ParameterizedPlanError(
+                "type-A subquery block contains a bind parameter; its "
+                "value is folded into the plan at transform time, so "
+                "the plan must be built per parameter vector: "
+                + to_sql(inner)
+            )
         self._build_pending_setup()
         from repro.engine.nested_iteration import NestedIterationExecutor
 
         return NestedIterationExecutor(self.catalog).execute(inner).rows
 
     def _build_pending_setup(self) -> None:
+        from repro.errors import ParameterizedPlanError
         from repro.optimizer.executor import SingleLevelExecutor
+        from repro.sql.ast import Parameter
 
         while self.built < len(self.setup):
             definition = self.setup[self.built]
+            if any(isinstance(n, Parameter) for n in walk(definition.query)):
+                # The temp's rows feed a type-A evaluation whose result
+                # is folded into the plan; see _evaluate.
+                raise ParameterizedPlanError(
+                    "temp table built during transformation contains a "
+                    "bind parameter: " + to_sql(definition.query)
+                )
             executor = SingleLevelExecutor(self.catalog, self.join_method)
             relation = executor.execute(definition.query)
             self.catalog.register_temp(

@@ -115,6 +115,7 @@ class Engine:
         exists_count_mode: str = "star",
         quantifier_mode: str = "exact",
         verify: bool = True,
+        plan_cache=None,
     ) -> None:
         self.catalog = catalog
         self.join_method = join_method
@@ -123,6 +124,8 @@ class Engine:
         self.dedupe_outer = dedupe_outer
         self.exists_count_mode = exists_count_mode
         self.quantifier_mode = quantifier_mode
+        #: Optional repro.serve.PlanCache consulted by run_cached().
+        self.plan_cache = plan_cache
         #: Run the static plan verifier + Kim-bug lint after NEST-G.
         #: With the paper-correct ``ja_algorithm="ja2"`` any error
         #: finding aborts the run; with the deliberately buggy
@@ -148,6 +151,86 @@ class Engine:
         if method == "cost":
             return self._run_cost_based(select)
         raise ReproError(f"unknown method {method!r}")
+
+    def prepare(self, sql: str, method: str = "auto"):
+        """Plan a parameterized statement once; bind + execute many times.
+
+        Returns a :class:`repro.serve.PreparedStatement` whose ``?`` /
+        ``:name`` markers bind directly into the compiled plan.
+        """
+        from repro.serve.prepared import PreparedStatement
+
+        return PreparedStatement(self, sql, method=method)
+
+    def run_cached(
+        self, sql: str, params: tuple = (), method: str = "auto"
+    ) -> RunReport:
+        """Execute through the plan cache (requires ``plan_cache``).
+
+        The SQL is normalized (predicate literals parameterized, text
+        canonicalized) and looked up by fingerprint + engine config;
+        on a hit the stored plan replays without re-planning or
+        re-verification.  Queries whose plan shape depends on the
+        literal values get per-vector ("custom") cache entries, and
+        non-cacheable shapes fall back to the full pipeline in a
+        private session.
+        """
+        from repro.engine.params import bound_params
+        from repro.errors import BindError, ParameterizedPlanError
+        from repro.serve.cache import PlanCache
+        from repro.serve.normalize import (
+            fingerprint,
+            parameterize,
+            substitute_params,
+            user_param_count,
+        )
+        from repro.serve.plan import NonCacheablePlan, build_plan, engine_config
+        from repro.serve.session import SessionCatalog
+
+        cache: PlanCache | None = self.plan_cache
+        if cache is None:
+            raise ReproError("engine has no plan cache; pass plan_cache=")
+        select = parse(sql)
+        declared = user_param_count(select)
+        vector = tuple(params)
+        if len(vector) != declared:
+            raise BindError(
+                f"statement takes {declared} parameter(s), got {len(vector)}"
+            )
+        normalized, extracted = parameterize(select)
+        values = vector + extracted
+        key = (fingerprint(normalized), engine_config(self, method))
+        version = self.catalog.version
+
+        plan = cache.lookup(key, version)
+        if plan is None:
+            try:
+                plan = build_plan(self, normalized, method, key[0])
+                cache.store(key, plan)
+            except ParameterizedPlanError:
+                # Custom plan: the literal values shape the plan, so
+                # they join the cache key and are baked into the tree.
+                custom_key = key + (values,)
+                plan = cache.lookup(custom_key, version)
+                if plan is None:
+                    literal = substitute_params(normalized, values)
+                    plan = build_plan(self, literal, method, key[0])
+                    cache.store(custom_key, plan)
+                return plan.replay(self.catalog, ())
+            except NonCacheablePlan:
+                session_engine = Engine(
+                    SessionCatalog(self.catalog),
+                    join_method=self.join_method,
+                    ja_algorithm=self.ja_algorithm,
+                    dedupe_inner=self.dedupe_inner,
+                    dedupe_outer=self.dedupe_outer,
+                    exists_count_mode=self.exists_count_mode,
+                    quantifier_mode=self.quantifier_mode,
+                    verify=self.verify,
+                )
+                with self.catalog.read_lock(), bound_params(vector):
+                    return session_engine.run(select, method=method)
+        return plan.replay(self.catalog, values)
 
     def transform(self, query: str | Select) -> GeneralTransform:
         """Transform without executing the final query.

@@ -36,6 +36,9 @@ import operator
 from collections.abc import Callable, Sequence
 from contextlib import contextmanager
 
+import threading
+
+from repro.engine.params import param_value
 from repro.engine.schema import RowSchema
 from repro.errors import BindError, ExecutionError
 from repro.sql.ast import (
@@ -50,6 +53,7 @@ from repro.sql.ast import (
     Literal,
     Not,
     Or,
+    Parameter,
     UnaryMinus,
 )
 
@@ -165,6 +169,9 @@ def _scalar(expr: Expr, chain: tuple[RowSchema, ...]) -> CompiledFn:
     if isinstance(expr, Literal):
         value = expr.value
         return lambda row, outer: value
+    if isinstance(expr, Parameter):
+        index, name = expr.index, expr.name
+        return lambda row, outer: param_value(index, name)
     if isinstance(expr, ColumnRef):
         depth, index = _resolve(expr, chain)
         return _column_getter(depth, index)
@@ -357,6 +364,66 @@ def _predicate(expr: Expr, chain: tuple[RowSchema, ...]) -> CompiledFn:
     raise CannotCompile(f"cannot compile predicate {type(expr).__name__}")
 
 
+# -- closure memo ------------------------------------------------------------
+#
+# Expr nodes are frozen dataclasses and RowSchema hashes over its field
+# tuple, so ``(expr, chain)`` is a usable cache key.  Compiled closures
+# are pure (all per-row state flows through ``(row, outer)`` and the
+# parameter contextvar), so one closure can serve every thread.  The
+# memo is what lets a cached plan skip recompilation on replay.
+
+_MEMO_CAPACITY = 4096
+_memo_lock = threading.Lock()
+#: key → CompiledFn, or the CannotCompile sentinel below.
+_memo: dict[tuple, object] = {}
+_CANNOT = object()
+
+
+def clear_compile_memo() -> None:
+    """Drop all memoized closures (tests and DDL-heavy sessions)."""
+    with _memo_lock:
+        _memo.clear()
+
+
+def _memoized(
+    kind: str,
+    compiler: Callable[[Expr, tuple[RowSchema, ...]], CompiledFn],
+    expr: Expr,
+    schemas: RowSchema | Sequence[RowSchema],
+) -> CompiledFn | None:
+    try:
+        chain = _normalize_chain(schemas)
+    except CannotCompile:
+        return None
+    key = (kind, expr, chain)
+    try:
+        with _memo_lock:
+            cached = _memo.get(key)
+            if cached is not None:
+                # Reinsert for LRU recency (dicts preserve order).
+                _memo.pop(key, None)
+                _memo[key] = cached
+    except TypeError:
+        # Unhashable literal embedded in the expression; compile fresh.
+        try:
+            return compiler(expr, chain)
+        except CannotCompile:
+            return None
+    if cached is _CANNOT:
+        return None
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    try:
+        compiled: object = compiler(expr, chain)
+    except CannotCompile:
+        compiled = _CANNOT
+    with _memo_lock:
+        while len(_memo) >= _MEMO_CAPACITY:
+            _memo.pop(next(iter(_memo)))
+        _memo[key] = compiled
+    return None if compiled is _CANNOT else compiled  # type: ignore[return-value]
+
+
 # -- fallible front door -----------------------------------------------------
 
 
@@ -366,10 +433,7 @@ def try_compile_scalar(
     """Compiled scalar, or None (fall back to the interpreter)."""
     if not _COMPILE_ENABLED:
         return None
-    try:
-        return compile_scalar(expr, schemas)
-    except CannotCompile:
-        return None
+    return _memoized("s", _scalar, expr, schemas)
 
 
 def try_compile_predicate(
@@ -378,7 +442,4 @@ def try_compile_predicate(
     """Compiled predicate, or None (fall back to the interpreter)."""
     if not _COMPILE_ENABLED:
         return None
-    try:
-        return compile_predicate(expr, schemas)
-    except CannotCompile:
-        return None
+    return _memoized("p", _predicate, expr, schemas)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import BindError, ExecutionError
+from repro.engine.params import param_value
 from repro.engine.schema import RowSchema
 from repro.sql.ast import (
     And,
@@ -34,6 +35,7 @@ from repro.sql.ast import (
     Literal,
     Not,
     Or,
+    Parameter,
     Quantified,
     ScalarSubquery,
     Select,
@@ -107,6 +109,8 @@ def eval_scalar(expr: Expr, context: EvalContext) -> object:
     """Evaluate a scalar expression for one row."""
     if isinstance(expr, Literal):
         return expr.value
+    if isinstance(expr, Parameter):
+        return param_value(expr.index, expr.name)
     if isinstance(expr, ColumnRef):
         return context.resolve(expr)
     if isinstance(expr, UnaryMinus):

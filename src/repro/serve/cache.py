@@ -1,0 +1,139 @@
+"""The LRU plan cache and its invalidation wiring.
+
+Keys are ``(fingerprint, engine_config)`` — the normalized SQL text of
+the literal-parameterized tree plus every engine knob that affects plan
+shape.  The catalog's schema/stats version is *not* part of the key;
+instead each entry records the version it was built under and a lookup
+under any other version is treated as an invalidation (the entry is
+dropped and rebuilt).  On top of that, catalog change hooks purge
+eagerly, so DDL frees the memory immediately rather than leaving stale
+entries to age out of the LRU.
+
+All operations are lock-protected; worker threads share one cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.serve.plan import CachedPlan
+
+#: Default maximum number of cached plans.
+DEFAULT_CAPACITY = 128
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters since construction (or the last ``reset``)."""
+
+    hits: int
+    misses: int
+    invalidations: int
+    evictions: int
+    size: int
+    capacity: int
+
+    def format(self) -> str:
+        total = self.hits + self.misses
+        rate = (100.0 * self.hits / total) if total else 0.0
+        return (
+            f"plan cache: {self.size}/{self.capacity} entries, "
+            f"{self.hits} hit(s), {self.misses} miss(es) "
+            f"({rate:.1f}% hit rate), "
+            f"{self.invalidations} invalidation(s), "
+            f"{self.evictions} eviction(s)"
+        )
+
+
+class PlanCache:
+    """Bounded LRU of :class:`~repro.serve.plan.CachedPlan` objects."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, catalog: Catalog) -> None:
+        """Purge this cache on every plan-relevant catalog change."""
+        catalog.add_change_hook(self._on_catalog_change)
+
+    def _on_catalog_change(self, event: str, table: str) -> None:
+        with self._lock:
+            if self._entries:
+                self.invalidations += len(self._entries)
+                for plan in self._entries.values():
+                    plan.release()
+                self._entries.clear()
+
+    # -- access ------------------------------------------------------------
+
+    def lookup(self, key: tuple, version: int) -> CachedPlan | None:
+        """The cached plan for ``key`` valid at ``version``, or None.
+
+        A version mismatch counts as an invalidation *and* a miss: the
+        stale entry is dropped and the caller rebuilds.
+        """
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            if plan.catalog_version != version:
+                del self._entries[key]
+                plan.release()
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def store(self, key: tuple, plan: CachedPlan) -> None:
+        with self._lock:
+            replaced = self._entries.pop(key, None)
+            if replaced is not None and replaced is not plan:
+                replaced.release()
+            while len(self._entries) >= self.capacity:
+                _key, evicted = self._entries.popitem(last=False)
+                evicted.release()
+                self.evictions += 1
+            self._entries[key] = plan
+
+    def clear(self) -> None:
+        with self._lock:
+            for plan in self._entries.values():
+                plan.release()
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                invalidations=self.invalidations,
+                evictions=self.evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
+            self.evictions = 0

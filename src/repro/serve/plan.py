@@ -1,0 +1,375 @@
+"""Building and replaying cached plans.
+
+A :class:`CachedPlan` captures everything the pipeline produces up to —
+but not including — data access: the qualified/rewritten tree, the
+NEST-G transformation (temp-table definitions + canonical single-level
+query), the dedupe-outer fix-up rewrite, the verifier's clean bill of
+health, and the statically-derived parameter contracts.  Replay skips
+parse → qualify → rewrite → transform → verify → lint entirely; it
+rebuilds the (data-dependent) temp tables in a private
+:class:`~repro.serve.session.SessionCatalog` and runs the canonical
+query with ``verify=False`` — verification happened at plan time, which
+is precisely the point of caching it.
+
+Two plan kinds exist: ``transform`` (the paper's unnested pipeline) and
+``nested_iteration`` (for queries outside the algorithms' reach under
+``method="auto"``).  Both are safe to execute from many threads at
+once: all mutable state lives in the session overlay or flows through
+the parameter context variable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.core.nest_g import GeneralTransform, nest_g
+from repro.core.pipeline import Engine, RunReport
+from repro.engine.nested_iteration import NestedIterationExecutor, QueryResult
+from repro.errors import ParameterizedPlanError, ReproError, TransformError
+from repro.optimizer.executor import SingleLevelExecutor
+from repro.serve.binding import ParamSpec, check_binding, derive_param_specs
+from repro.serve.session import SessionCatalog
+from repro.sql.ast import Parameter, Select, walk
+from repro.sql.printer import to_sql
+
+#: Max distinct parameter vectors whose materialized temps one plan
+#: memoizes; further vectors rebuild their temps per call.
+_TEMP_MEMO_CAP = 8
+
+
+class NonCacheablePlan(ReproError):
+    """The query cannot be served from a cached plan.
+
+    Raised at plan-build time for shapes whose *rewrite* performs data
+    access (the aggregated ``dedupe_outer`` fix-up materializes a
+    staging temp mid-rewrite) and for ``method="cost"`` (the planner's
+    choice is re-costed per call).  Callers fall back to the full
+    pipeline per execution — correct, just not cached.
+    """
+
+
+#: Engine-configuration component of every cache key.  Two engines with
+#: different settings must never share a plan.
+def engine_config(engine: Engine, method: str) -> tuple:
+    return (
+        method,
+        engine.join_method,
+        engine.ja_algorithm,
+        engine.dedupe_inner,
+        engine.dedupe_outer,
+        engine.exists_count_mode,
+        engine.quantifier_mode,
+    )
+
+
+@dataclass
+class CachedPlan:
+    """A transformed, verified, replayable plan."""
+
+    fingerprint: str
+    config: tuple
+    #: catalog.version when the plan was built; the cache treats any
+    #: other version as a miss (schema, stats, or data changed).
+    catalog_version: int
+    kind: str  # "transform" | "nested_iteration"
+    rewritten: Select
+    param_specs: list[ParamSpec]
+    join_method: str
+    transform: GeneralTransform | None = None
+    final_query: Select | None = None
+    strip: int = 0
+    verify_trace: list[str] = field(default_factory=list)
+    #: Parameter slots the setup temp definitions read (transitively):
+    #: temp contents are a pure function of (base data @ version, these
+    #: values), so materialized temps are memoized per value sub-vector.
+    setup_param_indices: tuple[int, ...] = ()
+    _temp_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    #: sub-vector -> [(temp name, heap, column names), ...]
+    _temp_memo: dict = field(default_factory=dict, repr=False, compare=False)
+    _active: int = 0
+    _released: bool = False
+
+    @property
+    def param_count(self) -> int:
+        return len(self.param_specs)
+
+    # -- memoized temp lifecycle ------------------------------------------
+
+    def _acquire(self) -> None:
+        with self._temp_lock:
+            self._active += 1
+
+    def _release_slot(self) -> None:
+        with self._temp_lock:
+            self._active -= 1
+            if self._released and self._active == 0:
+                self._truncate_memo_locked()
+
+    def release(self) -> None:
+        """Free memoized temp heaps (cache eviction / invalidation).
+
+        Deferred while executions are in flight: the last replay's
+        cleanup performs the truncation, so a reader never loses pages
+        under its feet.
+        """
+        with self._temp_lock:
+            self._released = True
+            if self._active == 0:
+                self._truncate_memo_locked()
+
+    def _truncate_memo_locked(self) -> None:
+        for temps in self._temp_memo.values():
+            for _name, heap, _columns in temps:
+                heap.truncate()
+        self._temp_memo.clear()
+
+    def describe(self) -> str:
+        lines = [f"kind: {self.kind}", f"version: {self.catalog_version}"]
+        if self.transform is not None:
+            for definition in self.transform.setup:
+                lines.append(f"setup: {definition.describe()}")
+            lines.append(f"canonical: {to_sql(self.transform.query)}")
+        lines.extend(self.verify_trace)
+        return "\n".join(lines)
+
+    # -- execution ---------------------------------------------------------
+
+    def replay(
+        self, catalog: Catalog, values: tuple[object, ...] = ()
+    ) -> RunReport:
+        """Execute the plan with ``values`` bound, result + I/O report.
+
+        Safe to call from multiple threads concurrently: temps go to a
+        per-call session overlay, parameters bind through a context
+        variable, and the whole call holds the catalog read lock.
+        """
+        from repro.engine.params import bound_params
+
+        check_binding(self.param_specs, values)
+        session = SessionCatalog(catalog)
+        before = session.buffer.stats()
+        self._acquire()
+        try:
+            with catalog.read_lock(), bound_params(values):
+                if self.kind == "nested_iteration":
+                    result = NestedIterationExecutor(session).execute(
+                        self.rewritten
+                    )
+                    io = session.buffer.stats() - before
+                    return RunReport(
+                        result=result, io=io, method="cached-nested_iteration"
+                    )
+                assert self.transform is not None
+                assert self.final_query is not None
+                try:
+                    steps = self._install_temps(session, values)
+                    final = SingleLevelExecutor(
+                        session, self.join_method, verify=False
+                    )
+                    relation = final.execute(self.final_query)
+                    steps.append("final")
+                    rows = relation.to_list()
+                    if self.strip:
+                        rows = [row[self.strip:] for row in rows]
+                    result = QueryResult(
+                        columns=final.output_names(self.transform.query),
+                        rows=rows,
+                    )
+                    io = session.buffer.stats() - before
+                    return RunReport(
+                        result=result,
+                        io=io,
+                        method="cached-transform",
+                        join_method=self.join_method,
+                        canonical_sql=to_sql(self.transform.query),
+                        steps=steps,
+                    )
+                finally:
+                    session.drop_temp_tables()
+        finally:
+            self._release_slot()
+
+    def _install_temps(
+        self, session: SessionCatalog, values: tuple[object, ...]
+    ) -> list[str]:
+        """Make the plan's temp tables visible in ``session``.
+
+        Temp contents depend only on the base data (pinned by the
+        catalog version) and the parameter slots their definitions
+        read, so materialized heaps are memoized per value sub-vector:
+        a hit registers the shared heaps read-only; a miss builds them
+        and donates the heaps to the memo (unless it is full or the
+        plan was released mid-flight).
+        """
+        assert self.transform is not None
+        if not self.transform.setup:
+            return []
+        memo_key = tuple(values[i] for i in self.setup_param_indices)
+        with self._temp_lock:
+            shared = self._temp_memo.get(memo_key)
+            if shared is not None:
+                for name, heap, columns in shared:
+                    session.register_shared_temp(name, heap, columns)
+        if shared is not None:
+            return [f"reused {name}" for name, _heap, _columns in shared]
+        steps = []
+        built: list[tuple] = []
+        for definition in self.transform.setup:
+            executor = SingleLevelExecutor(
+                session, self.join_method, verify=False
+            )
+            relation = executor.execute(definition.query)
+            columns = executor.output_names(definition.query)
+            session.register_temp(definition.name, relation.heap, columns)
+            built.append((definition.name, relation.heap, columns))
+            steps.append(f"built {definition.name}")
+        with self._temp_lock:
+            if (
+                not self._released
+                and memo_key not in self._temp_memo
+                and len(self._temp_memo) < _TEMP_MEMO_CAP
+            ):
+                self._temp_memo[memo_key] = built
+                for name, _heap, _columns in built:
+                    session.mark_shared(name)
+        return steps
+
+
+def build_plan(
+    engine: Engine, select: Select, method: str, fingerprint: str
+) -> CachedPlan:
+    """Run the full pipeline up to (not including) data access.
+
+    Raises :class:`~repro.errors.ParameterizedPlanError` when the plan
+    shape depends on parameter values (callers switch to per-vector
+    "custom" plans) and :class:`NonCacheablePlan` for shapes that
+    cannot be cached at all.
+    """
+    if method not in ("transform", "auto", "nested_iteration"):
+        raise NonCacheablePlan(
+            f"method {method!r} is re-planned per call and cannot be cached"
+        )
+    catalog = engine.catalog
+    version = catalog.version
+    session = SessionCatalog(catalog)
+    # A throwaway engine bound to the session overlay: temps that
+    # NEST-G builds to evaluate type-A blocks stay private to this
+    # plan construction.
+    planner = Engine(
+        session,
+        join_method=engine.join_method,
+        ja_algorithm=engine.ja_algorithm,
+        dedupe_inner=engine.dedupe_inner,
+        dedupe_outer=engine.dedupe_outer,
+        exists_count_mode=engine.exists_count_mode,
+        quantifier_mode=engine.quantifier_mode,
+        verify=engine.verify,
+    )
+    config = engine_config(engine, method)
+    with catalog.read_lock():
+        try:
+            rewritten = planner._prepare(select)
+            if method == "nested_iteration":
+                specs = derive_param_specs(
+                    rewritten, session, _slot_count(rewritten)
+                )
+                return CachedPlan(
+                    fingerprint=fingerprint,
+                    config=config,
+                    catalog_version=version,
+                    kind="nested_iteration",
+                    rewritten=rewritten,
+                    param_specs=specs,
+                    join_method=engine.join_method,
+                )
+            try:
+                transform = nest_g(
+                    rewritten,
+                    session,
+                    ja_algorithm=engine.ja_algorithm,
+                    dedupe_inner=engine.dedupe_inner,
+                    join_method=engine.join_method,
+                )
+                verify_trace = (
+                    planner._verify_transform(rewritten, transform)
+                    if engine.verify
+                    else []
+                )
+                engine.last_findings = planner.last_findings
+                if (
+                    engine.dedupe_outer
+                    and transform.root_fanout_merge
+                    and (
+                        transform.query.group_by
+                        or transform.query.has_aggregate_select()
+                        or transform.query.distinct
+                    )
+                ):
+                    # The aggregated fix-up materializes a staging temp
+                    # *during* the rewrite — data access at plan time.
+                    raise NonCacheablePlan(
+                        "aggregated dedupe_outer rewrite stages data at "
+                        "plan time"
+                    )
+                final_query, strip = planner._maybe_dedupe_outer(transform)
+                specs = derive_param_specs(
+                    rewritten, session, _slot_count(rewritten)
+                )
+                setup_params = tuple(
+                    sorted(
+                        {
+                            node.index
+                            for definition in transform.setup
+                            for node in walk(definition.query)
+                            if isinstance(node, Parameter)
+                        }
+                    )
+                )
+                return CachedPlan(
+                    fingerprint=fingerprint,
+                    config=config,
+                    catalog_version=version,
+                    kind="transform",
+                    rewritten=rewritten,
+                    param_specs=specs,
+                    join_method=engine.join_method,
+                    transform=transform,
+                    final_query=final_query,
+                    strip=strip,
+                    verify_trace=verify_trace,
+                    setup_param_indices=setup_params,
+                )
+            except ParameterizedPlanError:
+                # Must reach the caller: the plan shape depends on
+                # parameter values, so the serving layer plans per
+                # distinct vector instead ("custom plans").
+                raise
+            except TransformError:
+                # Outside the algorithms' reach: under method="auto"
+                # cache a nested-iteration plan instead.
+                if method != "auto":
+                    raise
+                specs = derive_param_specs(
+                    rewritten, session, _slot_count(rewritten)
+                )
+                return CachedPlan(
+                    fingerprint=fingerprint,
+                    config=config,
+                    catalog_version=version,
+                    kind="nested_iteration",
+                    rewritten=rewritten,
+                    param_specs=specs,
+                    join_method=engine.join_method,
+                )
+        finally:
+            session.drop_temp_tables()
+
+
+def _slot_count(select: Select) -> int:
+    from repro.serve.normalize import user_param_count
+
+    return user_param_count(select)

@@ -1,0 +1,215 @@
+"""Prepared statements: plan once, bind and execute many times.
+
+``Engine.prepare(sql)`` parses and plans a statement with ``?`` or
+``:name`` markers once; each ``execute(values)`` binds the vector
+straight into the already-compiled plan (closures read parameters
+through a context variable, so nothing is recompiled) and replays it.
+
+Three modes, chosen automatically at prepare time:
+
+* **generic** — one parameterized plan serves every vector (the common
+  case; what real systems call a generic plan);
+* **custom** — the plan's shape depends on parameter values (a bind
+  parameter inside a type-A block whose result is folded into the plan
+  as a constant); a small per-vector plan cache is kept instead,
+  mirroring the generic-vs-custom plan split in production databases;
+* **fallback** — the query cannot be served from a cached plan at all
+  (see :class:`~repro.serve.plan.NonCacheablePlan`); each execute runs
+  the full pipeline in a private session.
+
+Every mode re-checks the catalog's schema/stats version per execute and
+re-plans (re-running verification and lint) when it moved — DDL or
+inserts between executions can never leave a stale plan running.
+
+Statements are safe to execute from multiple threads concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Mapping, Sequence
+
+from repro.core.pipeline import Engine, RunReport, prepare_query
+from repro.errors import BindError, ParameterizedPlanError
+from repro.serve.binding import check_binding, derive_param_specs
+from repro.serve.normalize import fingerprint, substitute_params, user_param_count
+from repro.serve.plan import CachedPlan, NonCacheablePlan, build_plan
+from repro.serve.session import SessionCatalog
+from repro.sql.ast import Parameter, Select, walk
+from repro.sql.parser import parse
+
+#: Custom-plan (per-vector) cache bound per statement.
+_CUSTOM_PLAN_CAP = 16
+
+
+class PreparedStatement:
+    """A parsed, planned, bind-ready statement handle."""
+
+    def __init__(self, engine: Engine, sql: str, method: str = "auto") -> None:
+        self.engine = engine
+        self.sql = sql
+        self.method = method
+        self.select: Select = parse(sql)
+        self.param_count = user_param_count(self.select)
+        self.named_params: dict[str, int] = {}
+        for node in walk(self.select):
+            if isinstance(node, Parameter) and node.name:
+                self.named_params[node.name] = node.index
+        self.fingerprint = fingerprint(self.select)
+        self._lock = threading.Lock()
+        self._plan: CachedPlan | None = None
+        self._custom: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        self._specs_version: int | None = None
+        self.param_specs = self._derive_specs()
+        self.mode = self._plan_initial()
+
+    # -- planning ----------------------------------------------------------
+
+    def _derive_specs(self):
+        catalog = self.engine.catalog
+        with catalog.read_lock():
+            rewritten = prepare_query(
+                self.select,
+                catalog,
+                self.engine.exists_count_mode,
+                self.engine.quantifier_mode,
+            )
+            self._specs_version = catalog.version
+            return derive_param_specs(rewritten, catalog, self.param_count)
+
+    def _plan_initial(self) -> str:
+        try:
+            self._plan = build_plan(
+                self.engine, self.select, self.method, self.fingerprint
+            )
+            return "generic"
+        except ParameterizedPlanError:
+            return "custom"
+        except NonCacheablePlan:
+            return "fallback"
+
+    def describe(self) -> str:
+        lines = [f"mode: {self.mode}", f"parameters: {self.param_count}"]
+        for spec in self.param_specs:
+            wanted = (
+                " or ".join(t.__name__ for t in spec.allowed_types)
+                if spec.allowed_types
+                else "any"
+            )
+            null = "nullable" if spec.allow_null else "not null"
+            lines.append(f"  {spec.label()}: {wanted}, {null}")
+        if self._plan is not None:
+            lines.append(self._plan.describe())
+        return "\n".join(lines)
+
+    # -- binding -----------------------------------------------------------
+
+    def _vector(
+        self, values: Sequence[object] | Mapping[str, object]
+    ) -> tuple[object, ...]:
+        if isinstance(values, Mapping):
+            vector: list[object] = [_MISSING] * self.param_count
+            for name, value in values.items():
+                index = self.named_params.get(name.upper())
+                if index is None:
+                    raise BindError(f"statement has no parameter :{name}")
+                vector[index] = value
+            missing = [i for i, v in enumerate(vector) if v is _MISSING]
+            if missing:
+                raise BindError(
+                    "missing value(s) for parameter(s) "
+                    + ", ".join(str(i + 1) for i in missing)
+                )
+            return tuple(vector)
+        return tuple(values)
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self, values: Sequence[object] | Mapping[str, object] = ()
+    ) -> RunReport:
+        """Bind ``values`` and run; returns the full run report."""
+        vector = self._vector(values)
+        catalog = self.engine.catalog
+        version = catalog.version
+        if self._specs_version != version:
+            # Schema/stats moved: re-derive the bind contracts too (a
+            # column's type may have changed across drop/recreate).
+            self.param_specs = self._derive_specs()
+        check_binding(self.param_specs, vector)
+
+        if self.mode == "fallback":
+            return self._run_fallback(vector)
+        if self.mode == "custom":
+            return self._run_custom(vector, version)
+        return self._run_generic(vector, version)
+
+    def executemany(
+        self, vectors: Sequence[Sequence[object] | Mapping[str, object]]
+    ) -> list[RunReport]:
+        return [self.execute(vector) for vector in vectors]
+
+    def _run_generic(
+        self, vector: tuple[object, ...], version: int
+    ) -> RunReport:
+        with self._lock:
+            plan = self._plan
+            if plan is None or plan.catalog_version != version:
+                if plan is not None:
+                    plan.release()
+                # Re-plan *and* re-verify: build_plan runs the static
+                # verifier + lint again against the new catalog state.
+                self._plan = plan = build_plan(
+                    self.engine, self.select, self.method, self.fingerprint
+                )
+        return plan.replay(self.engine.catalog, vector)
+
+    def _run_custom(
+        self, vector: tuple[object, ...], version: int
+    ) -> RunReport:
+        with self._lock:
+            plan = self._custom.get(vector)
+            if plan is not None and plan.catalog_version != version:
+                del self._custom[vector]
+                plan.release()
+                plan = None
+            if plan is None:
+                literal = substitute_params(self.select, vector)
+                plan = build_plan(
+                    self.engine, literal, self.method, self.fingerprint
+                )
+                while len(self._custom) >= _CUSTOM_PLAN_CAP:
+                    _vec, evicted = self._custom.popitem(last=False)
+                    evicted.release()
+                self._custom[vector] = plan
+            else:
+                self._custom.move_to_end(vector)
+        # The vector's values are baked into the custom plan as
+        # literals; nothing is left to bind.
+        return plan.replay(self.engine.catalog, ())
+
+    def _run_fallback(self, vector: tuple[object, ...]) -> RunReport:
+        from repro.engine.params import bound_params
+
+        catalog = self.engine.catalog
+        session_engine = Engine(
+            SessionCatalog(catalog),
+            join_method=self.engine.join_method,
+            ja_algorithm=self.engine.ja_algorithm,
+            dedupe_inner=self.engine.dedupe_inner,
+            dedupe_outer=self.engine.dedupe_outer,
+            exists_count_mode=self.engine.exists_count_mode,
+            quantifier_mode=self.engine.quantifier_mode,
+            verify=self.engine.verify,
+        )
+        with catalog.read_lock(), bound_params(vector):
+            return session_engine.run(self.select, method=self.method)
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

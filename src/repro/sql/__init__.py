@@ -23,6 +23,7 @@ from repro.sql.ast import (
     Not,
     Or,
     OrderItem,
+    Parameter,
     Quantified,
     ScalarSubquery,
     Select,
@@ -52,6 +53,7 @@ __all__ = [
     "Not",
     "Or",
     "OrderItem",
+    "Parameter",
     "Parser",
     "Quantified",
     "ScalarSubquery",

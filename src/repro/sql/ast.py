@@ -79,6 +79,24 @@ class Literal(Expr):
 
 
 @dataclass(frozen=True)
+class Parameter(Expr):
+    """A bind-parameter placeholder: ``?`` (positional) or ``:name``.
+
+    Parameters carry no value at plan time; the serving layer binds a
+    concrete literal per execution.  ``index`` is the zero-based slot in
+    the statement's parameter vector (positional markers are numbered in
+    parse order; every occurrence of the same ``:name`` shares one slot).
+
+    Attributes:
+        index: zero-based position in the bound parameter vector.
+        name: the name for ``:name`` markers, or None for ``?``.
+    """
+
+    index: int
+    name: str | None = None
+
+
+@dataclass(frozen=True)
 class Star(Expr):
     """The ``*`` in ``SELECT *`` or ``COUNT(*)`` (optionally qualified)."""
 
@@ -337,7 +355,7 @@ class Select(Node):
 
 def children(node: Node) -> Iterator[Node]:
     """Yield the direct AST children of ``node`` (excluding None)."""
-    if isinstance(node, (ColumnRef, Literal, Star)):
+    if isinstance(node, (ColumnRef, Literal, Star, Parameter)):
         return
     elif isinstance(node, FuncCall):
         yield node.arg

@@ -28,6 +28,7 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCT = "punct"
+    PARAM = "param"
     EOF = "eof"
 
 
@@ -125,6 +126,13 @@ class Lexer:
             return self._scan_number(start)
         if ch == "'":
             return self._scan_string(start)
+        if ch == "?":
+            # Positional bind-parameter marker; value is empty, the
+            # parser assigns slots in parse order.
+            self._pos = start + 1
+            return Token(TokenType.PARAM, "", start)
+        if ch == ":":
+            return self._scan_named_param(start)
 
         for op in _MULTI_CHAR_OPERATORS:
             if self._source.startswith(op, start):
@@ -181,6 +189,19 @@ class Lexer:
                 break
         self._pos = end
         return Token(TokenType.NUMBER, self._source[start:end], start)
+
+    def _scan_named_param(self, start: int) -> Token:
+        # ``:name`` — a named bind-parameter marker (name folded to
+        # upper case like any other identifier).
+        end = start + 1
+        while end < self._length and (
+            self._source[end].isalnum() or self._source[end] == "_"
+        ):
+            end += 1
+        if end == start + 1:
+            raise LexError("':' must introduce a named parameter", start)
+        self._pos = end
+        return Token(TokenType.PARAM, self._source[start + 1:end].upper(), start)
 
     def _scan_string(self, start: int) -> Token:
         # Single-quoted string; '' is an escaped quote.

@@ -51,6 +51,7 @@ from repro.sql.ast import (
     Not,
     Or,
     OrderItem,
+    Parameter,
     Quantified,
     ScalarSubquery,
     Select,
@@ -68,6 +69,11 @@ class Parser:
     def __init__(self, source: str) -> None:
         self._tokens = tokenize(source)
         self._index = 0
+        # Bind-parameter bookkeeping: positional ``?`` markers take the
+        # next free slot in parse order; every occurrence of the same
+        # ``:name`` shares one slot.
+        self._param_count = 0
+        self._named_params: dict[str, int] = {}
 
     # -- token-stream helpers ------------------------------------------------
 
@@ -406,6 +412,19 @@ class Parser:
         if token.matches(TokenType.KEYWORD, "NULL"):
             self._advance()
             return Literal(None)
+
+        if token.type is TokenType.PARAM:
+            self._advance()
+            if token.value:
+                index = self._named_params.get(token.value)
+                if index is None:
+                    index = self._param_count
+                    self._param_count += 1
+                    self._named_params[token.value] = index
+                return Parameter(index, token.value)
+            index = self._param_count
+            self._param_count += 1
+            return Parameter(index)
 
         if token.matches(TokenType.PUNCT, "("):
             if self._is_select_ahead():

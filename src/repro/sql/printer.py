@@ -26,6 +26,7 @@ from repro.sql.ast import (
     Not,
     Or,
     OrderItem,
+    Parameter,
     Quantified,
     ScalarSubquery,
     Select,
@@ -161,6 +162,8 @@ def _expr(expr: Expr) -> str:
         return _literal(expr.value)
     if isinstance(expr, Star):
         return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, Parameter):
+        return f":{expr.name}" if expr.name else "?"
     if isinstance(expr, FuncCall):
         inner = _expr(expr.arg)
         if expr.distinct:

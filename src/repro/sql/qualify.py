@@ -30,6 +30,7 @@ from repro.sql.ast import (
     Not,
     Or,
     OrderItem,
+    Parameter,
     Quantified,
     ScalarSubquery,
     Select,
@@ -135,7 +136,7 @@ def _qualify_expr(
 
     if isinstance(expr, ColumnRef):
         return _qualify_ref(expr, scopes, has_column)
-    if isinstance(expr, (Literal, Star)):
+    if isinstance(expr, (Literal, Star, Parameter)):
         return expr
     if isinstance(expr, FuncCall):
         if isinstance(expr.arg, Star):

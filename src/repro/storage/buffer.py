@@ -8,10 +8,30 @@ benchmark numbers reflect real buffer behaviour: an inner relation that
 fits in ``B - 1`` pages is fetched from disk once no matter how many
 times nested iteration rescans it, exactly the distinction the paper's
 cost analysis draws.
+
+Concurrency.  The pool is safe for N worker threads executing cached
+plans concurrently (the serving layer's read path):
+
+* a pool-level re-entrant lock guards all structural state (residency
+  map, LRU order, pin set, hit counter);
+* a fixed array of *stripe latches* (page id mod stripe count)
+  serializes disk faults per page, so two threads missing on the same
+  page fetch it once — and, crucially, the disk read happens while
+  holding only the stripe latch, letting faults on different pages
+  overlap their (simulated) transfer time;
+* lock order is stripe latch → pool lock → disk lock, everywhere, so
+  the hierarchy is deadlock-free.  Eviction runs entirely under the
+  pool lock and never touches a stripe latch.
+
+Pinned pages were already excluded from the LRU; ``get_page``/
+``new_page`` additionally take ``pin=True`` so callers can make the
+lookup-then-pin sequence atomic (a lone ``pin()`` after ``get_page()``
+could race with another thread's eviction).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.errors import StorageError
@@ -21,6 +41,9 @@ from repro.storage.stats import IOStats
 
 #: Default buffer size in pages; benchmarks override it per experiment.
 DEFAULT_BUFFER_PAGES = 8
+
+#: Number of per-page fault latches (power of two, modulo-mapped).
+_STRIPE_COUNT = 16
 
 
 class BufferPool:
@@ -44,22 +67,57 @@ class BufferPool:
         self._lru: OrderedDict[int, None] = OrderedDict()
         self._pinned: set[int] = set()
         self.hits = 0
+        self._lock = threading.RLock()
+        self._stripes = tuple(threading.Lock() for _ in range(_STRIPE_COUNT))
 
     # -- page access ---------------------------------------------------------
 
-    def get_page(self, page_id: int) -> Page:
-        """Return the frame for ``page_id``, fetching from disk on miss."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.hits += 1
-            if page_id in self._lru:
-                self._lru.move_to_end(page_id)
-            return frame
-        frame = self.disk.read_page(page_id)
-        self._admit(frame)
-        return frame
+    def get_page(self, page_id: int, *, pin: bool = False) -> Page:
+        """Return the frame for ``page_id``, fetching from disk on miss.
 
-    def new_page(self, capacity: int = PAGE_CAPACITY_DEFAULT) -> Page:
+        With ``pin=True`` the page is pinned atomically with the lookup.
+        """
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.hits += 1
+                if pin:
+                    self._pin_locked(page_id)
+                elif page_id in self._lru:
+                    self._lru.move_to_end(page_id)
+                return frame
+        # Miss: fault the page in under its stripe latch so concurrent
+        # misses on the same page read it once, while faults on other
+        # pages proceed in parallel.
+        with self._stripes[page_id % _STRIPE_COUNT]:
+            with self._lock:
+                frame = self._frames.get(page_id)
+                if frame is not None:
+                    self.hits += 1
+                    if pin:
+                        self._pin_locked(page_id)
+                    elif page_id in self._lru:
+                        self._lru.move_to_end(page_id)
+                    return frame
+            # Disk read outside the pool lock (stripe latch held).
+            frame = self.disk.read_page(page_id)
+            with self._lock:
+                resident = self._frames.get(page_id)
+                if resident is not None:
+                    # Raced with another stripe's admit (cannot happen
+                    # for the same page — the stripe latch prevents it —
+                    # but kept for safety).
+                    frame = resident
+                    self.hits += 1
+                else:
+                    self._admit(frame)
+                if pin:
+                    self._pin_locked(page_id)
+                return frame
+
+    def new_page(
+        self, capacity: int = PAGE_CAPACITY_DEFAULT, *, pin: bool = False
+    ) -> Page:
         """Allocate a fresh page and admit an empty, dirty frame for it.
 
         The page is charged one write when it is eventually flushed or
@@ -69,7 +127,10 @@ class BufferPool:
         page_id = self.disk.allocate(capacity)
         frame = Page(page_id, capacity=capacity)
         frame.dirty = True
-        self._admit(frame)
+        with self._lock:
+            self._admit(frame)
+            if pin:
+                self._pin_locked(page_id)
         return frame
 
     def pin(self, page_id: int) -> None:
@@ -78,7 +139,14 @@ class BufferPool:
         A real buffer manager pins the page a writer is filling; without
         this, appending row-by-row under a tiny buffer would charge
         spurious write/read pairs that no actual system incurs.
+
+        Prefer ``get_page(..., pin=True)`` under concurrency: a separate
+        pin after the lookup can race with another thread's eviction.
         """
+        with self._lock:
+            self._pin_locked(page_id)
+
+    def _pin_locked(self, page_id: int) -> None:
         if page_id not in self._frames:
             raise StorageError(f"cannot pin non-resident page {page_id}")
         self._pinned.add(page_id)
@@ -86,59 +154,68 @@ class BufferPool:
 
     def unpin(self, page_id: int) -> None:
         """Release a pin (idempotent); the page re-enters LRU as MRU."""
-        if page_id in self._pinned:
-            self._pinned.remove(page_id)
-            if page_id in self._frames:
-                self._lru[page_id] = None
+        with self._lock:
+            if page_id in self._pinned:
+                self._pinned.remove(page_id)
+                if page_id in self._frames:
+                    self._lru[page_id] = None
 
     def mark_dirty(self, page_id: int) -> None:
-        frame = self._frames.get(page_id)
-        if frame is None:
-            raise StorageError(f"page {page_id} is not resident")
-        frame.dirty = True
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise StorageError(f"page {page_id} is not resident")
+            frame.dirty = True
 
     def flush_page(self, page_id: int) -> None:
         """Write one resident page back to disk if dirty (keeps it cached)."""
-        frame = self._frames.get(page_id)
-        if frame is not None and frame.dirty:
-            self.disk.write_page(frame)
-            frame.dirty = False
-
-    def flush_all(self) -> None:
-        """Write back every dirty frame (keeps them cached)."""
-        for frame in self._frames.values():
-            if frame.dirty:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None and frame.dirty:
                 self.disk.write_page(frame)
                 frame.dirty = False
 
+    def flush_all(self) -> None:
+        """Write back every dirty frame (keeps them cached)."""
+        with self._lock:
+            for frame in self._frames.values():
+                if frame.dirty:
+                    self.disk.write_page(frame)
+                    frame.dirty = False
+
     def evict_all(self) -> None:
         """Flush and drop every frame; the pool becomes cold."""
-        self.flush_all()
-        self._frames.clear()
-        self._lru.clear()
-        self._pinned.clear()
+        with self._lock:
+            self.flush_all()
+            self._frames.clear()
+            self._lru.clear()
+            self._pinned.clear()
 
     def discard(self, page_id: int) -> None:
         """Drop a frame without writing it back (for deallocated pages)."""
-        self._frames.pop(page_id, None)
-        self._lru.pop(page_id, None)
-        self._pinned.discard(page_id)
+        with self._lock:
+            self._frames.pop(page_id, None)
+            self._lru.pop(page_id, None)
+            self._pinned.discard(page_id)
 
     # -- statistics ----------------------------------------------------------
 
     @property
     def resident_pages(self) -> int:
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     def stats(self) -> IOStats:
         """Current counters from the underlying disk plus hit count."""
-        return self.disk.stats(buffer_hits=self.hits)
+        with self._lock:
+            return self.disk.stats(buffer_hits=self.hits)
 
     def reset_stats(self) -> None:
-        self.disk.reset_stats()
-        self.hits = 0
+        with self._lock:
+            self.disk.reset_stats()
+            self.hits = 0
 
-    # -- internals -----------------------------------------------------------
+    # -- internals (caller holds the pool lock) ------------------------------
 
     def _admit(self, frame: Page) -> None:
         while len(self._frames) >= self.capacity:

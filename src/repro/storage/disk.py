@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 from repro.errors import StorageError
 from repro.storage.page import PAGE_CAPACITY_DEFAULT, Page
 from repro.storage.stats import IOStats
@@ -13,14 +16,28 @@ class DiskManager:
     The "disk" is a dict from page id to a frozen snapshot of the
     page's tuples.  Reads return a fresh :class:`Page` object so buffer
     frames never alias disk state.
+
+    All state is guarded by an internal lock, so concurrent readers
+    (the serving layer's worker threads) can miss in the buffer pool
+    and fault pages in simultaneously.
+
+    Args:
+        io_delay: optional simulated seconds per page *read*.  The sleep
+            happens outside the lock (and releases the GIL), modelling a
+            disk whose transfers overlap across threads; throughput
+            benchmarks use it so multi-threaded scaling reflects an
+            I/O-bound workload rather than pure-Python CPU contention.
+            Writes are not delayed (write-behind cache behaviour).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, io_delay: float = 0.0) -> None:
         self._pages: dict[int, tuple[tuple, ...]] = {}
         self._capacities: dict[int, int] = {}
         self._next_page_id = 0
         self.page_reads = 0
         self.page_writes = 0
+        self.io_delay = io_delay
+        self._lock = threading.Lock()
 
     # -- allocation ----------------------------------------------------------
 
@@ -30,57 +47,70 @@ class DiskManager:
         Allocation itself is free (no I/O is counted); the page is
         charged when it is first written back.
         """
-        page_id = self._next_page_id
-        self._next_page_id += 1
-        self._pages[page_id] = ()
-        self._capacities[page_id] = capacity
-        return page_id
+        with self._lock:
+            page_id = self._next_page_id
+            self._next_page_id += 1
+            self._pages[page_id] = ()
+            self._capacities[page_id] = capacity
+            return page_id
 
     def deallocate(self, page_id: int) -> None:
         """Release a page (no I/O is counted)."""
-        self._check_exists(page_id)
-        del self._pages[page_id]
-        del self._capacities[page_id]
+        with self._lock:
+            self._check_exists(page_id)
+            del self._pages[page_id]
+            del self._capacities[page_id]
 
     @property
     def num_pages(self) -> int:
-        return len(self._pages)
+        with self._lock:
+            return len(self._pages)
 
     def exists(self, page_id: int) -> bool:
-        return page_id in self._pages
+        with self._lock:
+            return page_id in self._pages
 
     # -- I/O -----------------------------------------------------------------
 
     def read_page(self, page_id: int) -> Page:
         """Fetch a page from disk (counts one page read)."""
-        self._check_exists(page_id)
-        self.page_reads += 1
-        return Page(
-            page_id,
-            capacity=self._capacities[page_id],
-            rows=list(self._pages[page_id]),
-        )
+        with self._lock:
+            self._check_exists(page_id)
+            self.page_reads += 1
+            page = Page(
+                page_id,
+                capacity=self._capacities[page_id],
+                rows=list(self._pages[page_id]),
+            )
+        if self.io_delay:
+            # Simulated transfer time; deliberately outside the lock so
+            # concurrent faults overlap, as real disk requests would.
+            time.sleep(self.io_delay)
+        return page
 
     def write_page(self, page: Page) -> None:
         """Write a page back to disk (counts one page write)."""
-        self._check_exists(page.page_id)
-        self.page_writes += 1
-        self._pages[page.page_id] = tuple(page.rows)
+        with self._lock:
+            self._check_exists(page.page_id)
+            self.page_writes += 1
+            self._pages[page.page_id] = tuple(page.rows)
 
     # -- statistics ----------------------------------------------------------
 
     def stats(self, buffer_hits: int = 0) -> IOStats:
         """Snapshot the counters (optionally folding in buffer hits)."""
-        return IOStats(
-            page_reads=self.page_reads,
-            page_writes=self.page_writes,
-            buffer_hits=buffer_hits,
-        )
+        with self._lock:
+            return IOStats(
+                page_reads=self.page_reads,
+                page_writes=self.page_writes,
+                buffer_hits=buffer_hits,
+            )
 
     def reset_stats(self) -> None:
         """Zero the counters (used between benchmark phases)."""
-        self.page_reads = 0
-        self.page_writes = 0
+        with self._lock:
+            self.page_reads = 0
+            self.page_writes = 0
 
     def _check_exists(self, page_id: int) -> None:
         if page_id not in self._pages:

@@ -40,18 +40,18 @@ class HeapFile:
         exactly one eventual write, never an evict/re-read churn.
         """
         if self.page_ids:
-            tail = self.buffer.get_page(self.page_ids[-1])
+            # pin=True makes lookup-and-pin atomic: a separate pin()
+            # after get_page() could race with another thread's evict.
+            tail = self.buffer.get_page(self.page_ids[-1], pin=True)
             if self._tail_pinned != tail.page_id:
                 self._unpin_tail()
-                self.buffer.pin(tail.page_id)
                 self._tail_pinned = tail.page_id
             if not tail.is_full:
                 tail.append(row)
                 self._num_rows += 1
                 return
         self._unpin_tail()
-        page = self.buffer.new_page(self.rows_per_page)
-        self.buffer.pin(page.page_id)
+        page = self.buffer.new_page(self.rows_per_page, pin=True)
         self._tail_pinned = page.page_id
         page.append(row)
         self.page_ids.append(page.page_id)

@@ -1,0 +1,106 @@
+"""Synchronization primitives for the concurrent read path.
+
+Lives in :mod:`repro.storage` (the dependency-free bottom layer) so the
+catalog, buffer pool, and serving layer can all use it without import
+cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+
+class RWLock:
+    """A reader-writer lock with re-entrant readers and writer priority.
+
+    * Any number of threads may hold the read lock simultaneously.
+    * The write lock is exclusive against both readers and writers.
+    * A thread may re-acquire the read lock it already holds (cached-plan
+      execution nests catalog reads), and a thread holding the *write*
+      lock may take the read lock — DDL implementations call read-side
+      helpers.
+    * A pending writer blocks new first-time readers, so a stream of
+      overlapping readers cannot starve DDL forever.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        #: thread ident → read-entry count (re-entrancy bookkeeping).
+        self._readers: dict[int, int] = {}
+        self._writer: int | None = None
+        self._writer_depth = 0
+        self._waiting_writers = 0
+
+    # -- read side -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            while True:
+                if self._writer == me:
+                    break  # write lock implies read permission
+                if me in self._readers:
+                    break  # re-entrant read
+                if self._writer is None and self._waiting_writers == 0:
+                    break
+                self._cond.wait()
+            self._readers[me] = self._readers.get(me, 0) + 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            count = self._readers.get(me, 0)
+            if count <= 0:
+                raise RuntimeError("release_read without acquire_read")
+            if count == 1:
+                del self._readers[me]
+                self._cond.notify_all()
+            else:
+                self._readers[me] = count - 1
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- write side ----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or any(
+                    ident != me for ident in self._readers
+                ):
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
