@@ -7,7 +7,9 @@ workloads (Type-N, Type-J, Type-JA) under every engine configuration:
 * nested iteration with the expression compiler disabled (the
   interpreted baseline),
 * nested iteration with compiled predicates/projections (the default),
-* the transformed plan under each join method (merge, nested, hash).
+* the transformed plan under each join method (merge, nested, hash),
+  once on the compiled row engine (``transform[merge]``) and once on
+  the vectorized columnar engine (``transform[merge|vectorized]``).
 
 Every leg runs cold (buffer flushed, counters zeroed) ``--repeats``
 times and keeps the fastest run.  Results land in ``BENCH_PR2.json``
@@ -17,9 +19,16 @@ beats merge on unsorted inputs — are regenerable from one command:
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py
 
+Row/vectorized legs of one join method must also charge **identical
+page I/O** — batch execution is a CPU-side change and may not move the
+paper-facing cost model (the scaling curve lives in
+``benchmarks/bench_vectorized.py`` / ``BENCH_PR6.json``).
+
 ``--smoke`` runs a reduced matrix (the two nested-iteration legs) and
 exits non-zero if compilation fails to pay for itself on any workload;
-CI runs it as a perf regression gate.
+CI runs it as a perf regression gate.  ``--smoke --engine vectorized``
+additionally runs the hash-join transform leg on both engines and
+fails on any row/vectorized disagreement in rows or page I/O.
 """
 
 from __future__ import annotations
@@ -94,11 +103,23 @@ def best_of(repeats: int, run) -> MeasuredRun:
     return min(runs, key=lambda r: r.seconds)
 
 
-def measure_workload(workload: dict, repeats: int, smoke: bool) -> list[dict]:
+def measure_workload(
+    workload: dict, repeats: int, smoke: bool, engine: str = "row"
+) -> list[dict]:
     catalog = build_parts_supply(workload["spec"])
     query = workload["query"]
     dedupe = workload["dedupe_inner"]
     dedupe_outer = workload.get("dedupe_outer", False)
+
+    def transform_leg(join_method: str, engine: str) -> MeasuredRun:
+        return best_of(
+            repeats,
+            lambda: measure(
+                catalog, query, "transform",
+                join_method=join_method, dedupe_inner=dedupe,
+                dedupe_outer=dedupe_outer, engine=engine,
+            ),
+        )
 
     legs: dict[str, MeasuredRun] = {}
     with interpreted_only():
@@ -116,16 +137,20 @@ def measure_workload(workload: dict, repeats: int, smoke: bool) -> list[dict]:
     )
     if not smoke:
         for join_method in JOIN_METHODS:
-            legs[f"transform[{join_method}]"] = best_of(
-                repeats,
-                lambda jm=join_method: measure(
-                    catalog, query, "transform",
-                    join_method=jm, dedupe_inner=dedupe,
-                    dedupe_outer=dedupe_outer,
-                ),
+            legs[f"transform[{join_method}]"] = transform_leg(
+                join_method, "row"
             )
+            legs[f"transform[{join_method}|vectorized]"] = transform_leg(
+                join_method, "vectorized"
+            )
+    elif engine == "vectorized":
+        legs["transform[hash]"] = transform_leg("hash", "row")
+        legs["transform[hash|vectorized]"] = transform_leg(
+            "hash", "vectorized"
+        )
 
     check_agreement(workload, legs)
+    check_page_identity(workload, legs)
 
     return [
         {
@@ -153,6 +178,19 @@ def check_agreement(workload: dict, legs: dict[str, MeasuredRun]) -> None:
             )
 
 
+def check_page_identity(workload: dict, legs: dict[str, MeasuredRun]) -> None:
+    """Row/vectorized legs of one join method must charge the same I/O."""
+    for op, run in legs.items():
+        if not op.endswith("|vectorized]"):
+            continue
+        row_op = op.replace("|vectorized]", "]")
+        if run.page_ios != legs[row_op].page_ios:
+            raise AssertionError(
+                f"{workload['name']}: {op} charges {run.page_ios} page "
+                f"I/Os but {row_op} charges {legs[row_op].page_ios}"
+            )
+
+
 def speedup(records: list[dict], workload: str, slow_op: str, fast_op: str):
     by_op = {r["op"]: r for r in records if r["workload"] == workload}
     return by_op[slow_op]["seconds"] / max(by_op[fast_op]["seconds"], 1e-9)
@@ -177,11 +215,18 @@ def main(argv: list[str] | None = None) -> int:
         help="nested-iteration legs only; fail if compiled is slower "
         "than interpreted on any workload; skip writing the result file",
     )
+    parser.add_argument(
+        "--engine", choices=("row", "vectorized"), default="row",
+        help="with --smoke, 'vectorized' adds the hash-join transform "
+        "leg on both engines and checks rows + page I/O agree",
+    )
     args = parser.parse_args(argv)
 
     records: list[dict] = []
     for workload in WORKLOADS:
-        records.extend(measure_workload(workload, args.repeats, args.smoke))
+        records.extend(
+            measure_workload(workload, args.repeats, args.smoke, args.engine)
+        )
         compiled_gain = speedup(
             records, workload["name"],
             "nested_iteration[interpreted]", "nested_iteration[compiled]",

@@ -61,6 +61,9 @@ class Database:
         io_delay: simulated per-page-read latency in seconds (sleeps
             outside all locks, so concurrent reads overlap — used by
             the throughput benchmark to model I/O-bound workloads).
+        engine: ``"row"`` (tuple-at-a-time operators) or
+            ``"vectorized"`` (columnar batch execution; same plans,
+            same page I/O, far less interpreter overhead).
     """
 
     def __init__(
@@ -72,6 +75,7 @@ class Database:
         dedupe_outer: bool = False,
         plan_cache_size: int = 128,
         io_delay: float = 0.0,
+        engine: str = "row",
     ) -> None:
         from repro.serve.cache import PlanCache
 
@@ -87,6 +91,7 @@ class Database:
             dedupe_inner=dedupe_inner,
             dedupe_outer=dedupe_outer,
             plan_cache=self.plan_cache,
+            engine=engine,
         )
 
     # -- DDL / DML -------------------------------------------------------

@@ -39,6 +39,7 @@ def measure(
     ja_algorithm: str = "ja2",
     dedupe_inner: bool = False,
     dedupe_outer: bool = False,
+    engine: str = "row",
 ) -> MeasuredRun:
     """Run one query cold and return rows + page I/O + wall time."""
     engine = Engine(
@@ -47,6 +48,7 @@ def measure(
         ja_algorithm=ja_algorithm,
         dedupe_inner=dedupe_inner,
         dedupe_outer=dedupe_outer,
+        engine=engine,
     )
     catalog.buffer.evict_all()
     catalog.buffer.reset_stats()

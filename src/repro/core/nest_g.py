@@ -78,6 +78,7 @@ def nest_g(
     ja_algorithm: str = "ja2",
     dedupe_inner: bool = False,
     join_method: str = "merge",
+    engine: str = "row",
 ) -> GeneralTransform:
     """Transform an arbitrarily nested query to canonical form.
 
@@ -93,8 +94,10 @@ def nest_g(
             fix-up; off by default for paper fidelity).
         join_method: join method used when temp tables must be built
             during transformation (for type-A evaluation).
+        engine: execution engine ("row" or "vectorized") for those
+            eager temp builds.
     """
-    driver = _NestG(catalog, ja_algorithm, dedupe_inner, join_method)
+    driver = _NestG(catalog, ja_algorithm, dedupe_inner, join_method, engine)
     canonical = driver.transform(select, env={}, is_root=True)
     _check_canonical(canonical)
     return GeneralTransform(
@@ -114,6 +117,7 @@ class _NestG:
         ja_algorithm: str,
         dedupe_inner: bool,
         join_method: str,
+        engine: str = "row",
     ) -> None:
         if ja_algorithm not in ("ja2", "kim", "kim-outer"):
             raise TransformError(f"unknown JA algorithm {ja_algorithm!r}")
@@ -121,6 +125,7 @@ class _NestG:
         self.ja_algorithm = ja_algorithm
         self.dedupe_inner = dedupe_inner
         self.join_method = join_method
+        self.engine = engine
         self.setup: list[TempTableDef] = []
         self.trace: list[str] = []
         self.built = 0
@@ -307,7 +312,9 @@ class _NestG:
                     "temp table built during transformation contains a "
                     "bind parameter: " + to_sql(definition.query)
                 )
-            executor = SingleLevelExecutor(self.catalog, self.join_method)
+            executor = SingleLevelExecutor(
+                self.catalog, self.join_method, engine=self.engine
+            )
             relation = executor.execute(definition.query)
             self.catalog.register_temp(
                 definition.name,

@@ -116,9 +116,16 @@ class Engine:
         quantifier_mode: str = "exact",
         verify: bool = True,
         plan_cache=None,
+        engine: str = "row",
     ) -> None:
+        if engine not in ("row", "vectorized"):
+            raise ReproError(f"unknown execution engine {engine!r}")
         self.catalog = catalog
         self.join_method = join_method
+        #: Evaluation style for single-level execution: "row" runs the
+        #: tuple-at-a-time operators, "vectorized" the batch operators
+        #: (same plans, same page I/O; see SingleLevelExecutor).
+        self.engine = engine
         self.ja_algorithm = ja_algorithm
         self.dedupe_inner = dedupe_inner
         self.dedupe_outer = dedupe_outer
@@ -227,6 +234,7 @@ class Engine:
                     exists_count_mode=self.exists_count_mode,
                     quantifier_mode=self.quantifier_mode,
                     verify=self.verify,
+                    engine=self.engine,
                 )
                 with self.catalog.read_lock(), bound_params(vector):
                     return session_engine.run(select, method=method)
@@ -247,6 +255,7 @@ class Engine:
             ja_algorithm=self.ja_algorithm,
             dedupe_inner=self.dedupe_inner,
             join_method=self.join_method,
+            engine=self.engine,
         )
 
     def explain(self, query: str | Select) -> str:
@@ -349,7 +358,9 @@ class Engine:
             distinct=True,
         )
 
-        executor = SingleLevelExecutor(self.catalog, self.join_method)
+        executor = SingleLevelExecutor(
+            self.catalog, self.join_method, engine=self.engine
+        )
         relation = executor.execute(staging)
         self.catalog.register_temp(
             temp_name, relation.heap, executor.output_names(staging)
@@ -462,6 +473,7 @@ class Engine:
                 ja_algorithm=self.ja_algorithm,
                 dedupe_inner=self.dedupe_inner,
                 join_method=self.join_method,
+                engine=self.engine,
             )
             verify_trace = (
                 self._verify_transform(rewritten, transform)
@@ -476,7 +488,9 @@ class Engine:
                     definition.name
                 ).num_pages
             for definition in transform.setup[transform.built :]:
-                executor = SingleLevelExecutor(self.catalog, self.join_method)
+                executor = SingleLevelExecutor(
+                    self.catalog, self.join_method, engine=self.engine
+                )
                 relation = executor.execute(definition.query)
                 self.catalog.register_temp(
                     definition.name,
@@ -487,7 +501,9 @@ class Engine:
                 temp_pages[definition.name] = relation.num_pages
 
             final_query, strip = self._maybe_dedupe_outer(transform)
-            final = SingleLevelExecutor(self.catalog, self.join_method)
+            final = SingleLevelExecutor(
+                self.catalog, self.join_method, engine=self.engine
+            )
             relation = final.execute(final_query)
             steps.append("final: " + "; ".join(final.steps))
             rows = relation.to_list()

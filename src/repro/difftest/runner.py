@@ -4,14 +4,26 @@ For every generated case the runner executes the query several ways —
 
 1. ``nested_iteration`` (System R semantics, the repo's baseline),
 2. ``transform``        (NEST-G with the paper's algorithms), once per
-   join method (merge, nested, hash by default — the transform legs
-   are named ``transform[merge]`` etc.), and
+   join method (merge, nested, hash by default) **per execution
+   engine** — the compiled row engine (``transform[merge]``), the
+   vectorized columnar engine (``transform[merge|vectorized]``), and
+   on request the interpreted row engine
+   (``transform[merge|interpreted]``, the expression compiler
+   disabled) — and
 3. SQLite               (the external reference oracle)
 
 — normalizes each result to a multiset, and demands agreement.  The
 transform legs are skipped (not failed) when the query is outside the
 algorithms' documented reach (``TransformError``, e.g. correlated
 NOT IN); the other legs must still agree.
+
+Engine legs double as the vectorized engine's oracle check: the row
+interpreter defines the semantics, the batch kernels must reproduce
+them, and SQLite keeps both honest.  On top of bag-equal rows, every
+engine leg of one join method must report **identical page I/O** — the
+vectorized engine's contract is batch-at-a-time evaluation with the
+row engine's exact cost accounting, so a difference in page counts is
+a divergence even when the rows agree.
 
 The engine runs with ``dedupe_inner=True, dedupe_outer=True``: the
 paper-faithful defaults reproduce Kim's Lemma-1 multiplicity caveat by
@@ -47,12 +59,25 @@ from repro.core.pipeline import Engine
 from repro.difftest.grammar import Case, CaseGenerator
 from repro.difftest.normalize import normalize_rows
 from repro.difftest.oracle import SQLiteOracle
+from repro.engine.compile import interpreted_only
 from repro.errors import TransformError
 from repro.sql.parser import parse
 
 
 #: The transform leg runs once per join method by default.
 JOIN_METHODS = ("merge", "nested", "hash")
+
+#: Execution-engine legs: name -> (Engine(engine=...), compiler on?).
+#: "compiled" keeps the historical bare leg name (``transform[merge]``).
+ENGINE_LEGS = {
+    "compiled": ("row", True),
+    "interpreted": ("row", False),
+    "vectorized": ("vectorized", True),
+}
+
+#: Default engine matrix: the compiled row engine and the vectorized
+#: engine (the interpreted leg triples runtime; opt in via --engines).
+ENGINES = ("compiled", "vectorized")
 
 
 @dataclass
@@ -71,7 +96,9 @@ class CaseOutcome:
 
 
 def run_case(
-    case: Case, join_methods: tuple[str, ...] = JOIN_METHODS
+    case: Case,
+    join_methods: tuple[str, ...] = JOIN_METHODS,
+    engines: tuple[str, ...] = ENGINES,
 ) -> CaseOutcome:
     """Execute one case every way and compare normalized bags."""
     catalog = case.build_catalog()
@@ -99,21 +126,55 @@ def run_case(
 
     transform_skipped = False
     detail_skip = ""
+    executors = {
+        name: Engine(
+            catalog,
+            dedupe_inner=True,
+            dedupe_outer=True,
+            engine=ENGINE_LEGS[name][0],
+        )
+        for name in engines
+    }
     for join_method in join_methods:
-        engine.join_method = join_method
-        leg = f"transform[{join_method}]"
-        try:
-            tr = engine.run(select, method="transform")
-            results[leg] = normalize_rows(tr.result.rows)
-        except TransformError as exc:
-            # The rewrite itself is join-method independent: one skip
-            # means they all skip.
-            transform_skipped = True
-            detail_skip = str(exc)
+        page_ios: dict[str, int] = {}
+        for engine_name in engines:
+            executor = executors[engine_name]
+            executor.join_method = join_method
+            suffix = "" if engine_name == "compiled" else f"|{engine_name}"
+            leg = f"transform[{join_method}{suffix}]"
+            compiler_on = ENGINE_LEGS[engine_name][1]
+            # Cold cache per leg (the bench protocol): page I/O must
+            # reflect the plan, not the buffer state a previous leg
+            # happened to leave behind.
+            catalog.buffer.evict_all()
+            try:
+                if compiler_on:
+                    tr = executor.run(select, method="transform")
+                else:
+                    with interpreted_only():
+                        tr = executor.run(select, method="transform")
+                results[leg] = normalize_rows(tr.result.rows)
+                page_ios[leg] = tr.io.page_ios
+            except TransformError as exc:
+                # The rewrite itself is join-method and engine
+                # independent: one skip means they all skip.
+                transform_skipped = True
+                detail_skip = str(exc)
+                break
+            except Exception as exc:
+                return CaseOutcome(
+                    case, "error", detail=f"{leg}: {exc}", results=results
+                )
+        if transform_skipped:
             break
-        except Exception as exc:
+        # Every engine leg of one join method must charge the same
+        # page I/O — batch execution may not change the cost model.
+        if len(set(page_ios.values())) > 1:
             return CaseOutcome(
-                case, "error", detail=f"{leg}: {exc}", results=results
+                case,
+                "divergence",
+                detail=f"page I/O differs across engines: {page_ios}",
+                results=results,
             )
 
     reference = results["sqlite"]
@@ -162,6 +223,7 @@ def run_difftest(
     stop_on_failure: bool = True,
     minimize: bool = True,
     join_methods: tuple[str, ...] = JOIN_METHODS,
+    engines: tuple[str, ...] = ENGINES,
 ) -> Report:
     """Generate and check ``examples`` cases; minimize any failure."""
     from repro.difftest.minimize import minimize_case
@@ -170,7 +232,7 @@ def run_difftest(
     report = Report()
     for index in range(examples):
         case = generator.case(index)
-        outcome = run_case(case, join_methods)
+        outcome = run_case(case, join_methods, engines)
         report.examples += 1
         if outcome.status == "ok":
             report.ok += 1
@@ -179,11 +241,11 @@ def run_difftest(
             continue
         if minimize:
             shrunk = minimize_case(
-                case, lambda c: run_case(c, join_methods).failed
+                case, lambda c: run_case(c, join_methods, engines).failed
             )
-            outcome = run_case(shrunk, join_methods)
+            outcome = run_case(shrunk, join_methods, engines)
             if not outcome.failed:  # pragma: no cover - shrinker invariant
-                outcome = run_case(case, join_methods)
+                outcome = run_case(case, join_methods, engines)
         report.failures.append(outcome)
         if stop_on_failure:
             break
@@ -236,6 +298,12 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated join methods for the transform legs "
         f"(default: {','.join(JOIN_METHODS)})",
     )
+    parser.add_argument(
+        "--engines",
+        default=",".join(ENGINES),
+        help="comma-separated engine legs for the transform runs, from "
+        f"{{{','.join(ENGINE_LEGS)}}} (default: {','.join(ENGINES)})",
+    )
     args = parser.parse_args(argv)
 
     join_methods = tuple(
@@ -243,11 +311,20 @@ def main(argv: list[str] | None = None) -> int:
         for method in args.join_methods.split(",")
         if method.strip()
     )
+    engines = tuple(
+        name.strip() for name in args.engines.split(",") if name.strip()
+    )
+    unknown = [name for name in engines if name not in ENGINE_LEGS]
+    if unknown:
+        parser.error(
+            f"unknown engine(s) {unknown}; choose from {list(ENGINE_LEGS)}"
+        )
     report = run_difftest(
         examples=args.examples,
         seed=args.seed,
         stop_on_failure=not args.keep_going,
         join_methods=join_methods,
+        engines=engines,
     )
     for outcome in report.failures:
         print(format_outcome(outcome))

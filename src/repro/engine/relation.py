@@ -5,6 +5,18 @@ disk, read through the buffer pool — every temp table the transforms
 build) or *in-memory* (small derived lists, e.g. a cached type-N inner
 result before System R materializes it).  Physical operators consume
 and produce Relations.
+
+Batch access.  The vectorized engine consumes relations through
+:meth:`Relation.iter_batches`, which yields **page-sized** row batches
+for heap-backed relations: each batch is exactly one page's tuples and
+costs exactly one page read through the buffer pool, so batch execution
+charges the same page I/O as a row-at-a-time scan — the paper's cost
+unit is preserved exactly, not approximated.  (Coalescing several
+pages per batch would amortize kernel dispatch, but reading ahead
+perturbs the LRU state under eviction pressure and the re-read counts
+drift from the row engine's — tried and rejected; page-sized batches
+keep the I/O schedule bit-identical.)  In-memory relations are chunked
+into fixed-size batches (they cost no I/O either way).
 """
 
 from __future__ import annotations
@@ -26,10 +38,26 @@ __all__ = [
 _TEMP_PAGE_BYTES = 1024
 _TEMP_COLUMN_BYTES = 8
 
+#: Batch size for in-memory relations (no page geometry to follow).
+_MEMORY_BATCH_ROWS = 256
+
 
 def temp_rows_per_page(num_columns: int) -> int:
-    """Default tuples-per-page for a temp relation of given width."""
-    return max(1, _TEMP_PAGE_BYTES // (_TEMP_COLUMN_BYTES * max(1, num_columns)))
+    """Default tuples-per-page for a temp relation of given width.
+
+    Matches the catalog's sizing rule (``page_bytes // row_width``).  A
+    zero-column schema is legal — an EXISTS-style probe projects no
+    columns — but its tuples still occupy a slot each, so it is sized
+    explicitly like a one-column temp rather than falling through an
+    implicit ``max``.
+    """
+    if num_columns < 0:
+        raise ValueError(f"negative column count: {num_columns}")
+    if num_columns == 0:
+        # Degenerate width: a row of zero columns still occupies one
+        # tuple slot; size it exactly like a one-column temp.
+        num_columns = 1
+    return max(1, _TEMP_PAGE_BYTES // (_TEMP_COLUMN_BYTES * num_columns))
 
 
 class Relation:
@@ -78,12 +106,50 @@ class Relation:
         heap.flush()
         return cls(schema, heap=heap, name=name)
 
+    @classmethod
+    def materialize_batches(
+        cls,
+        schema: RowSchema,
+        batches: Iterable[list[tuple]],
+        buffer: BufferPool,
+        rows_per_page: int | None = None,
+        name: str | None = None,
+    ) -> "Relation":
+        """Materialize from row batches (the vectorized engine's path).
+
+        Produces exactly the pages :meth:`materialize` would for the
+        same row stream — same capacity, same page count, same flush
+        writes — just with one buffer interaction per filled page
+        instead of one per row.
+        """
+        capacity = rows_per_page or temp_rows_per_page(len(schema))
+        heap = HeapFile(buffer, rows_per_page=capacity, name=name)
+        for batch in batches:
+            heap.append_rows(batch)
+        heap.flush()
+        return cls(schema, heap=heap, name=name)
+
     # -- access --------------------------------------------------------------
 
     def __iter__(self) -> Iterator[tuple]:
         if self.heap is not None:
             return self.heap.scan()
         return iter(self._rows)
+
+    def iter_batches(self) -> Iterator[list[tuple]]:
+        """Yield rows in batches; heap relations batch page by page.
+
+        One batch per heap page means batch execution reads exactly the
+        pages a row scan reads, in the same order — page-I/O accounting
+        is identical (see the module docstring for why pages are not
+        coalesced into larger batches).
+        """
+        if self.heap is not None:
+            yield from self.heap.scan_pages()
+            return
+        rows = self._rows
+        for start in range(0, len(rows), _MEMORY_BATCH_ROWS):
+            yield rows[start : start + _MEMORY_BATCH_ROWS]
 
     def to_list(self) -> list[tuple]:
         return list(self)
@@ -131,30 +197,43 @@ class RowidRelation(Relation):
     DESIGN.md) uses this to restore nested-iteration multiplicities
     after a type-J NEST-N-J merge: DISTINCT over (rowid, output)
     collapses the join's fan-out back to one row per outer tuple.
+
+    The view owns no storage: ``heap`` and the in-memory row list
+    delegate to the base relation, so backing-state checks
+    (``is_heap_backed``, ``heap is not None``, ``num_rows``,
+    ``num_pages``, drop decisions) all agree with the base instead of
+    splitting brains between "the view has no heap" and "the view is
+    heap-backed".  Note the delegated heap stores the *base* tuples —
+    the rowid column exists only on rows produced by iterating the
+    view itself.
     """
 
     def __init__(self, base: Relation, binding: str) -> None:
-        # Deliberately does not call Relation.__init__: this is a view.
+        # Deliberately does not call Relation.__init__: this is a view
+        # whose backing state is the base's (see the class docstring).
         self._base = base
         self.schema = base.schema + RowSchema([(binding, ROWID_COLUMN)])
-        self.heap = None
-        self._rows = None
         self.name = base.name
+
+    @property
+    def heap(self):  # type: ignore[override]
+        return self._base.heap
+
+    @property
+    def _rows(self):  # type: ignore[override]
+        return self._base._rows
 
     def __iter__(self):
         return (row + (rid,) for rid, row in enumerate(self._base))
 
-    @property
-    def is_heap_backed(self) -> bool:
-        return self._base.is_heap_backed
-
-    @property
-    def num_rows(self) -> int:
-        return self._base.num_rows
-
-    @property
-    def num_pages(self) -> int:
-        return self._base.num_pages
+    def iter_batches(self) -> Iterator[list[tuple]]:
+        rid = 0
+        for batch in self._base.iter_batches():
+            out = []
+            for row in batch:
+                out.append(row + (rid,))
+                rid += 1
+            yield out
 
     def drop(self) -> None:
         self._base.drop()

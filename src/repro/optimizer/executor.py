@@ -24,6 +24,17 @@ Design points lifted straight from the paper:
   7.4, a merge join's output needs no re-sort for a GROUP BY on the
   join column, and a temp table created in GROUP BY order needs no sort
   before the final merge join.
+
+Orthogonally to the join method, ``engine`` selects the evaluation
+style: ``"row"`` runs the operators of :mod:`repro.engine.operators`
+tuple at a time; ``"vectorized"`` swaps in the batch operators of
+:mod:`repro.engine.vectorized` for restrict/project, hash join, hash
+DISTINCT, and grouped aggregation.  The *plan* is identical either way
+— same sorts, same temps, same operator order — so page-I/O accounting
+does not change; only the per-tuple evaluation strategy does.  (Merge
+and nested-loop joins and external sorts stay row-wise: they are
+sort-dominated, and sharing them keeps the two engines' I/O trivially
+identical.)
 """
 
 from __future__ import annotations
@@ -78,14 +89,43 @@ class SingleLevelExecutor:
         catalog: Catalog,
         join_method: str = "merge",
         verify: bool = True,
+        engine: str = "row",
     ) -> None:
         if join_method not in ("merge", "nested", "hash"):
             raise PlanError(f"unknown join method {join_method!r}")
+        if engine not in ("row", "vectorized"):
+            raise PlanError(f"unknown execution engine {engine!r}")
         self.catalog = catalog
         self.buffer = catalog.buffer
         self.join_method = join_method
+        self.engine = engine
         self.verify = verify
         self.steps: list[str] = []
+        if engine == "vectorized":
+            from repro.engine.vectorized import (
+                vectorized_distinct,
+                vectorized_group_aggregate,
+                vectorized_hash_join,
+                vectorized_restrict_project,
+                vectorized_sorted_group_aggregate,
+            )
+
+            self._restrict_project = vectorized_restrict_project
+            self._hash_join = vectorized_hash_join
+            self._hash_distinct = vectorized_distinct
+            # The sorted path streams groups batch-by-batch (same page
+            # interleaving as the row operator); the hash path
+            # accumulates and emits at the end, like its row
+            # counterpart — so buffer behaviour matches, not just
+            # totals.
+            self._sorted_aggregate = vectorized_sorted_group_aggregate
+            self._hash_aggregate = vectorized_group_aggregate
+        else:
+            self._restrict_project = restrict_project
+            self._hash_join = hash_join
+            self._hash_distinct = hash_distinct
+            self._sorted_aggregate = group_aggregate
+            self._hash_aggregate = hash_group_aggregate
 
     # -- public API --------------------------------------------------------
 
@@ -109,7 +149,7 @@ class SingleLevelExecutor:
 
         if select.distinct:
             if self.join_method == "hash":
-                result = hash_distinct(result, self.buffer, name="distinct")
+                result = self._hash_distinct(result, self.buffer, name="distinct")
                 self._log("hash dedup for DISTINCT (no sort)")
             else:
                 result = external_sort(result, list(range(len(result.schema))),
@@ -174,7 +214,7 @@ class SingleLevelExecutor:
                 all_conjuncts, relation.schema, ref.binding
             )
             if local is not None:
-                relation = restrict_project(
+                relation = self._restrict_project(
                     relation, self.buffer, predicate=local,
                     name=f"restrict({ref.binding})",
                 )
@@ -359,7 +399,7 @@ class SingleLevelExecutor:
         )
         # Hash joins need no sorted inputs; the residual is always
         # applied in-join (required for the outer mode, free otherwise).
-        joined = hash_join(
+        joined = self._hash_join(
             left.relation, right.relation, self.buffer,
             left_keys, right_keys, mode=mode, name="hash-join",
             null_safe=null_safe,
@@ -412,7 +452,13 @@ class SingleLevelExecutor:
         return self._filter_state(state, make_and(residual_preds))
 
     def _residual_callable(self, predicate: Expr | None, schema: RowSchema):
-        """Wrap a predicate as a combined-row callable for the joins."""
+        """Wrap a predicate as a combined-row callable for the joins.
+
+        The returned callable carries ``expr``/``schema`` attributes so
+        the vectorized hash join can recover the predicate and evaluate
+        it as a batch kernel over candidate matches instead of one
+        combined row at a time.
+        """
         if predicate is None:
             return None
         self._log(f"join residual: {to_sql(predicate)}")
@@ -421,13 +467,15 @@ class SingleLevelExecutor:
 
         compiled = try_compile_predicate(predicate, schema)
         if compiled is not None:
-            return lambda combined: compiled(combined, None)
+            check = lambda combined: compiled(combined, None)  # noqa: E731
+        else:
+            from repro.engine.expression import EvalContext, eval_predicate
 
-        from repro.engine.expression import EvalContext, eval_predicate
+            def check(combined: tuple):
+                return eval_predicate(predicate, EvalContext(combined, schema))
 
-        def check(combined: tuple):
-            return eval_predicate(predicate, EvalContext(combined, schema))
-
+        check.expr = predicate
+        check.schema = schema
         return check
 
     def _normalize_join_pred(
@@ -518,7 +566,7 @@ class SingleLevelExecutor:
     def _filter_state(self, state: _State, predicate: Expr | None) -> _State:
         if predicate is None:
             return state
-        filtered = restrict_project(
+        filtered = self._restrict_project(
             state.relation, self.buffer, predicate=predicate, name="filter"
         )
         self._log(f"filter: {to_sql(predicate)}")
@@ -571,12 +619,12 @@ class SingleLevelExecutor:
             )
 
         relation = state.relation
-        aggregate_op = group_aggregate
+        aggregate_op = self._sorted_aggregate
         if group_positions and not self._grouping_satisfied(
             state.sorted_on, group_positions
         ):
             if self.join_method == "hash":
-                aggregate_op = hash_group_aggregate
+                aggregate_op = self._hash_aggregate
                 self._log("hash GROUP BY (no sort)")
             else:
                 relation = external_sort(
@@ -597,7 +645,7 @@ class SingleLevelExecutor:
             name="group", always_emit=not group_positions,
         )
         if having_pred is not None:
-            grouped = restrict_project(
+            grouped = self._restrict_project(
                 grouped, self.buffer, predicate=having_pred, name="having"
             )
             self._log(f"HAVING filter: {to_sql(having_pred)}")
@@ -696,7 +744,7 @@ class SingleLevelExecutor:
             if isinstance(item.expr, Star):
                 raise PlanError("SELECT * is not supported in canonical queries")
             projections.append((item.expr, None, name))
-        result = restrict_project(
+        result = self._restrict_project(
             state.relation, self.buffer, projections=projections, name="result"
         )
         self._log(

@@ -56,6 +56,7 @@ def engine_config(engine: Engine, method: str) -> tuple:
     return (
         method,
         engine.join_method,
+        engine.engine,
         engine.ja_algorithm,
         engine.dedupe_inner,
         engine.dedupe_outer,
@@ -77,6 +78,9 @@ class CachedPlan:
     rewritten: Select
     param_specs: list[ParamSpec]
     join_method: str
+    #: Evaluation style ("row" | "vectorized") baked in at plan time;
+    #: part of the cache key via :func:`engine_config`.
+    engine: str = "row"
     transform: GeneralTransform | None = None
     final_query: Select | None = None
     strip: int = 0
@@ -168,7 +172,8 @@ class CachedPlan:
                 try:
                     steps = self._install_temps(session, values)
                     final = SingleLevelExecutor(
-                        session, self.join_method, verify=False
+                        session, self.join_method, verify=False,
+                        engine=self.engine,
                     )
                     relation = final.execute(self.final_query)
                     steps.append("final")
@@ -220,7 +225,7 @@ class CachedPlan:
         built: list[tuple] = []
         for definition in self.transform.setup:
             executor = SingleLevelExecutor(
-                session, self.join_method, verify=False
+                session, self.join_method, verify=False, engine=self.engine
             )
             relation = executor.execute(definition.query)
             columns = executor.output_names(definition.query)
@@ -268,6 +273,7 @@ def build_plan(
         exists_count_mode=engine.exists_count_mode,
         quantifier_mode=engine.quantifier_mode,
         verify=engine.verify,
+        engine=engine.engine,
     )
     config = engine_config(engine, method)
     with catalog.read_lock():
@@ -285,6 +291,7 @@ def build_plan(
                     rewritten=rewritten,
                     param_specs=specs,
                     join_method=engine.join_method,
+                    engine=engine.engine,
                 )
             try:
                 transform = nest_g(
@@ -293,6 +300,7 @@ def build_plan(
                     ja_algorithm=engine.ja_algorithm,
                     dedupe_inner=engine.dedupe_inner,
                     join_method=engine.join_method,
+                    engine=engine.engine,
                 )
                 verify_trace = (
                     planner._verify_transform(rewritten, transform)
@@ -337,6 +345,7 @@ def build_plan(
                     rewritten=rewritten,
                     param_specs=specs,
                     join_method=engine.join_method,
+                    engine=engine.engine,
                     transform=transform,
                     final_query=final_query,
                     strip=strip,
@@ -364,6 +373,7 @@ def build_plan(
                     rewritten=rewritten,
                     param_specs=specs,
                     join_method=engine.join_method,
+                    engine=engine.engine,
                 )
         finally:
             session.drop_temp_tables()

@@ -202,6 +202,7 @@ class PreparedStatement:
             exists_count_mode=self.engine.exists_count_mode,
             quantifier_mode=self.engine.quantifier_mode,
             verify=self.engine.verify,
+            engine=self.engine.engine,
         )
         with catalog.read_lock(), bound_params(vector):
             return session_engine.run(self.select, method=self.method)

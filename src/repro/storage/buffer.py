@@ -109,6 +109,16 @@ class BufferPool:
                     # but kept for safety).
                     frame = resident
                     self.hits += 1
+                elif not self.disk.exists(page_id):
+                    # The page was freed between our disk read and this
+                    # admit (a concurrent heap truncate).  Admitting it
+                    # would leave a stale frame for a deallocated page;
+                    # hand the caller its snapshot without caching it.
+                    if pin:
+                        raise StorageError(
+                            f"cannot pin freed page {page_id}"
+                        )
+                    return frame
                 else:
                     self._admit(frame)
                 if pin:
@@ -197,6 +207,25 @@ class BufferPool:
             self._frames.pop(page_id, None)
             self._lru.pop(page_id, None)
             self._pinned.discard(page_id)
+
+    def free_page(self, page_id: int) -> None:
+        """Atomically discard a frame and deallocate its disk page.
+
+        Holding the pool lock across both steps closes the race a
+        separate discard-then-deallocate sequence leaves open: eviction
+        (which writes dirty frames back under this same lock) can never
+        pick a page mid-free, and a faulting reader's admit — also
+        under this lock, with an existence re-check — can never install
+        a stale frame for a page that no longer exists.  A concurrent
+        reader's pin on the page is dropped with the frame: the reader
+        keeps its (snapshot) frame reference, and its later ``unpin``
+        is a no-op.
+        """
+        with self._lock:
+            self._frames.pop(page_id, None)
+            self._lru.pop(page_id, None)
+            self._pinned.discard(page_id)
+            self.disk.deallocate(page_id)
 
     # -- statistics ----------------------------------------------------------
 

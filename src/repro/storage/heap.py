@@ -29,15 +29,50 @@ class HeapFile:
         self.page_ids: list[int] = []
         self._num_rows = 0
         self._tail_pinned: int | None = None
+        self._tail_page = None
 
     # -- writing ---------------------------------------------------------
+
+    def _write_cursor(self):
+        """The pinned tail page, re-pinning it if the cursor was closed.
+
+        While ``_tail_page`` is set the page is pinned and cannot be
+        evicted, so the cached object is authoritative — the batch
+        write path uses it to consult the buffer pool once per touched
+        page rather than once per call.  The row-at-a-time
+        :meth:`append` deliberately does *not* use the cache: it
+        re-finds the tail through the pool on every tuple, which is the
+        row engine's documented per-row cost.  Returns None when the
+        file has no pages yet.
+        """
+        if self._tail_page is not None:
+            return self._tail_page
+        if not self.page_ids:
+            return None
+        # pin=True makes lookup-and-pin atomic: a separate pin()
+        # after get_page() could race with another thread's evict.
+        tail = self.buffer.get_page(self.page_ids[-1], pin=True)
+        self._tail_pinned = tail.page_id
+        self._tail_page = tail
+        return tail
+
+    def _new_tail(self):
+        """Unpin the full tail and open a fresh pinned page."""
+        self._unpin_tail()
+        page = self.buffer.new_page(self.rows_per_page, pin=True)
+        self._tail_pinned = page.page_id
+        self._tail_page = page
+        self.page_ids.append(page.page_id)
+        return page
 
     def append(self, row: tuple) -> None:
         """Append one tuple, allocating a new page when the tail is full.
 
         The tail page stays pinned in the buffer pool between appends
         (as a real write cursor would be), so filling a page costs
-        exactly one eventual write, never an evict/re-read churn.
+        exactly one eventual write, never an evict/re-read churn.  Each
+        tuple still pays a buffer-pool lookup — the row engine's
+        per-row cost, which :meth:`append_rows` amortizes per page.
         """
         if self.page_ids:
             # pin=True makes lookup-and-pin atomic: a separate pin()
@@ -46,15 +81,13 @@ class HeapFile:
             if self._tail_pinned != tail.page_id:
                 self._unpin_tail()
                 self._tail_pinned = tail.page_id
+            self._tail_page = tail
             if not tail.is_full:
                 tail.append(row)
                 self._num_rows += 1
                 return
-        self._unpin_tail()
-        page = self.buffer.new_page(self.rows_per_page, pin=True)
-        self._tail_pinned = page.page_id
-        page.append(row)
-        self.page_ids.append(page.page_id)
+        tail = self._new_tail()
+        tail.append(row)
         self._num_rows += 1
 
     def extend(self, rows: Iterable[tuple]) -> None:
@@ -62,6 +95,28 @@ class HeapFile:
         for row in rows:
             self.append(row)
         self.close_writes()
+
+    def append_rows(self, rows: list[tuple]) -> None:
+        """Append a batch of tuples, filling pages chunk-wise.
+
+        Page geometry is identical to repeated :meth:`append` — same
+        pages, same eventual writes — but the buffer pool is consulted
+        once per touched page instead of once per row, which is what
+        makes batch materialization cheap for the vectorized engine.
+        The write cursor stays pinned between calls; finish with
+        :meth:`close_writes` or :meth:`flush` like any other writer.
+        """
+        index = 0
+        total = len(rows)
+        while index < total:
+            tail = self._write_cursor()
+            if tail is None or tail.is_full:
+                tail = self._new_tail()
+            take = min(tail.capacity - len(tail.rows), total - index)
+            tail.rows.extend(rows[index : index + take])
+            tail.dirty = True
+            self._num_rows += take
+            index += take
 
     def close_writes(self) -> None:
         """Release the pinned write cursor (safe to call repeatedly)."""
@@ -74,11 +129,19 @@ class HeapFile:
             self.buffer.flush_page(page_id)
 
     def truncate(self) -> None:
-        """Drop all pages (frees them on the simulated disk, no I/O)."""
+        """Drop all pages (frees them on the simulated disk, no I/O).
+
+        Frame discard and disk deallocation happen atomically under the
+        pool lock (:meth:`~repro.storage.buffer.BufferPool.free_page`),
+        so a concurrent reader can never re-admit a stale frame for a
+        freed page and eviction can never write one back.  A reader
+        that races the drop may see ``StorageError: no such page`` —
+        the documented outcome of scanning a relation while it is
+        dropped — never silent corruption.
+        """
         self.close_writes()
         for page_id in self.page_ids:
-            self.buffer.discard(page_id)
-            self.buffer.disk.deallocate(page_id)
+            self.buffer.free_page(page_id)
         self.page_ids.clear()
         self._num_rows = 0
 
@@ -86,23 +149,29 @@ class HeapFile:
         if self._tail_pinned is not None:
             self.buffer.unpin(self._tail_pinned)
             self._tail_pinned = None
+        self._tail_page = None
 
     # -- reading ---------------------------------------------------------
 
+    # Scans iterate a snapshot of the page list: a concurrent truncate
+    # clears ``page_ids``, and mutating a list mid-iteration would skip
+    # pages silently; with the snapshot a racing scan instead fails
+    # cleanly on the first freed page it touches.
+
     def scan(self) -> Iterator[tuple]:
         """Yield every tuple, reading pages sequentially via the buffer."""
-        for page_id in self.page_ids:
+        for page_id in list(self.page_ids):
             page = self.buffer.get_page(page_id)
             yield from page.rows
 
     def scan_pages(self) -> Iterator[list[tuple]]:
-        """Yield the file page by page (used by the external sort)."""
-        for page_id in self.page_ids:
+        """Yield the file page by page (external sort, batch execution)."""
+        for page_id in list(self.page_ids):
             yield list(self.buffer.get_page(page_id).rows)
 
     def scan_with_positions(self) -> Iterator[tuple[tuple[int, int], tuple]]:
         """Yield ``((page_id, slot), row)`` pairs — used by index builds."""
-        for page_id in self.page_ids:
+        for page_id in list(self.page_ids):
             page = self.buffer.get_page(page_id)
             for slot, row in enumerate(page.rows):
                 yield (page_id, slot), row
