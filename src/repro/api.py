@@ -64,6 +64,13 @@ class Database:
         engine: ``"row"`` (tuple-at-a-time operators) or
             ``"vectorized"`` (columnar batch execution; same plans,
             same page I/O, far less interpreter overhead).
+        parallelism: number of worker shards for partitioned scans,
+            hash joins, and partial aggregation (default 1 = serial).
+            Parallel plans read and write exactly the same pages as
+            serial ones — only wall-clock changes.
+        parallel_threshold: minimum input row count before an operator
+            goes parallel (default 2048); smaller inputs run serial
+            even when ``parallelism > 1``.
     """
 
     def __init__(
@@ -76,6 +83,8 @@ class Database:
         plan_cache_size: int = 128,
         io_delay: float = 0.0,
         engine: str = "row",
+        parallelism: int = 1,
+        parallel_threshold: int | None = None,
     ) -> None:
         from repro.serve.cache import PlanCache
 
@@ -92,6 +101,8 @@ class Database:
             dedupe_outer=dedupe_outer,
             plan_cache=self.plan_cache,
             engine=engine,
+            parallelism=parallelism,
+            parallel_threshold=parallel_threshold,
         )
 
     # -- DDL / DML -------------------------------------------------------
@@ -161,9 +172,13 @@ class Database:
 
         with self.catalog.write_lock():
             if table is None:
-                analyze_all(self.catalog)
+                analyze_all(self.catalog, parallelism=self.engine.parallelism)
             else:
-                analyze_table(self.catalog, table.upper())
+                analyze_table(
+                    self.catalog,
+                    table.upper(),
+                    parallelism=self.engine.parallelism,
+                )
 
     # -- statements ----------------------------------------------------------
 

@@ -40,6 +40,8 @@ def measure(
     dedupe_inner: bool = False,
     dedupe_outer: bool = False,
     engine: str = "row",
+    parallelism: int = 1,
+    parallel_threshold: int | None = None,
 ) -> MeasuredRun:
     """Run one query cold and return rows + page I/O + wall time."""
     engine = Engine(
@@ -49,6 +51,8 @@ def measure(
         dedupe_inner=dedupe_inner,
         dedupe_outer=dedupe_outer,
         engine=engine,
+        parallelism=parallelism,
+        parallel_threshold=parallel_threshold,
     )
     catalog.buffer.evict_all()
     catalog.buffer.reset_stats()

@@ -11,6 +11,15 @@ as a real ANALYZE would be) and records, per column:
   the outer join column);
 * min/max (drives range-predicate interpolation for numeric columns);
 * the NULL count.
+
+With ``parallelism > 1`` the scan is sharded over the heap's partition
+map and the per-partition partials are merged: value sets union,
+NULL counts sum, minima/maxima fold.  Every aggregate is a pure
+function of the multiset of rows, so the merged totals are *identical*
+to the serial scan's — the cost formulas downstream
+(``hash_join_cost``, ``ja2_hash_cost``) cannot tell the difference.
+Each page is still read exactly once, so the charged page I/O is
+identical too.
 """
 
 from __future__ import annotations
@@ -65,39 +74,96 @@ class TableStatistics:
     columns: dict[str, ColumnStatistics] = field(default_factory=dict)
 
 
-def analyze_table(catalog: Catalog, name: str) -> TableStatistics:
+class _Partial:
+    """Mergeable per-partition accumulator for one ANALYZE scan."""
+
+    __slots__ = ("values", "nulls", "minima", "maxima")
+
+    def __init__(self, width: int) -> None:
+        self.values: list[set] = [set() for _ in range(width)]
+        self.nulls = [0] * width
+        self.minima: list[object] = [None] * width
+        self.maxima: list[object] = [None] * width
+
+    def observe(self, row: tuple) -> None:
+        for index, value in enumerate(row):
+            if value is None:
+                self.nulls[index] += 1
+                continue
+            self.values[index].add(value)
+            if self.minima[index] is None or value < self.minima[index]:
+                self.minima[index] = value
+            if self.maxima[index] is None or value > self.maxima[index]:
+                self.maxima[index] = value
+
+    def merge(self, other: "_Partial") -> None:
+        for index in range(len(self.values)):
+            self.values[index] |= other.values[index]
+            self.nulls[index] += other.nulls[index]
+            for candidate in (other.minima[index],):
+                if candidate is not None and (
+                    self.minima[index] is None
+                    or candidate < self.minima[index]
+                ):
+                    self.minima[index] = candidate
+            for candidate in (other.maxima[index],):
+                if candidate is not None and (
+                    self.maxima[index] is None
+                    or candidate > self.maxima[index]
+                ):
+                    self.maxima[index] = candidate
+
+
+def analyze_table(
+    catalog: Catalog, name: str, parallelism: int = 1
+) -> TableStatistics:
     """Scan a table and compute its statistics (charged page I/O).
 
     The result is also stored in ``catalog.statistics[name]`` so the
-    planner finds it.
+    planner finds it.  ``parallelism > 1`` shards the scan across the
+    heap's partition map; merged totals are identical to a serial scan.
     """
     entry = catalog.get(name)
     column_names = entry.schema.column_names
-    values: list[set] = [set() for _ in column_names]
-    nulls = [0] * len(column_names)
-    minima: list[object] = [None] * len(column_names)
-    maxima: list[object] = [None] * len(column_names)
+    width = len(column_names)
+    heap = entry.heap
 
-    for row in entry.heap.scan():
-        for index, value in enumerate(row):
-            if value is None:
-                nulls[index] += 1
-                continue
-            values[index].add(value)
-            if minima[index] is None or value < minima[index]:
-                minima[index] = value
-            if maxima[index] is None or value > maxima[index]:
-                maxima[index] = value
+    nparts = max(1, min(parallelism, heap.num_pages))
+    if nparts > 1:
+        from repro.engine.exchange import in_worker, run_tasks
+
+        if in_worker():
+            nparts = 1
+    if nparts > 1:
+        shards = heap.partition_pages(nparts)
+
+        def scan_shard(shard):
+            partial = _Partial(width)
+            for _page_index, rows in heap.scan_pages_partition(shard):
+                for row in rows:
+                    partial.observe(row)
+            return partial
+
+        partials = run_tasks(
+            [lambda shard=shard: scan_shard(shard) for shard in shards]
+        )
+        total = partials[0]
+        for partial in partials[1:]:
+            total.merge(partial)
+    else:
+        total = _Partial(width)
+        for row in heap.scan():
+            total.observe(row)
 
     stats = TableStatistics(
-        num_rows=entry.heap.num_rows,
-        num_pages=entry.heap.num_pages,
+        num_rows=heap.num_rows,
+        num_pages=heap.num_pages,
         columns={
             column: ColumnStatistics(
-                distinct=len(values[index]),
-                null_count=nulls[index],
-                min_value=minima[index],
-                max_value=maxima[index],
+                distinct=len(total.values[index]),
+                null_count=total.nulls[index],
+                min_value=total.minima[index],
+                max_value=total.maxima[index],
             )
             for index, column in enumerate(column_names)
         },
@@ -106,10 +172,12 @@ def analyze_table(catalog: Catalog, name: str) -> TableStatistics:
     return stats
 
 
-def analyze_all(catalog: Catalog) -> dict[str, TableStatistics]:
+def analyze_all(
+    catalog: Catalog, parallelism: int = 1
+) -> dict[str, TableStatistics]:
     """ANALYZE every (non-temp) table."""
     return {
-        name: analyze_table(catalog, name)
+        name: analyze_table(catalog, name, parallelism=parallelism)
         for name in catalog.table_names()
         if not catalog.get(name).is_temp
     }

@@ -79,6 +79,8 @@ def nest_g(
     dedupe_inner: bool = False,
     join_method: str = "merge",
     engine: str = "row",
+    parallelism: int = 1,
+    parallel_threshold: int | None = None,
 ) -> GeneralTransform:
     """Transform an arbitrarily nested query to canonical form.
 
@@ -96,8 +98,19 @@ def nest_g(
             during transformation (for type-A evaluation).
         engine: execution engine ("row" or "vectorized") for those
             eager temp builds.
+        parallelism: intra-query fan-out for the eager temp builds and
+            type-A evaluations (1 = serial), with ``parallel_threshold``
+            the serial-below row-count cutoff (None = engine default).
     """
-    driver = _NestG(catalog, ja_algorithm, dedupe_inner, join_method, engine)
+    driver = _NestG(
+        catalog,
+        ja_algorithm,
+        dedupe_inner,
+        join_method,
+        engine,
+        parallelism,
+        parallel_threshold,
+    )
     canonical = driver.transform(select, env={}, is_root=True)
     _check_canonical(canonical)
     return GeneralTransform(
@@ -118,6 +131,8 @@ class _NestG:
         dedupe_inner: bool,
         join_method: str,
         engine: str = "row",
+        parallelism: int = 1,
+        parallel_threshold: int | None = None,
     ) -> None:
         if ja_algorithm not in ("ja2", "kim", "kim-outer"):
             raise TransformError(f"unknown JA algorithm {ja_algorithm!r}")
@@ -126,6 +141,8 @@ class _NestG:
         self.dedupe_inner = dedupe_inner
         self.join_method = join_method
         self.engine = engine
+        self.parallelism = parallelism
+        self.parallel_threshold = parallel_threshold
         self.setup: list[TempTableDef] = []
         self.trace: list[str] = []
         self.built = 0
@@ -296,7 +313,15 @@ class _NestG:
         self._build_pending_setup()
         from repro.engine.nested_iteration import NestedIterationExecutor
 
-        return NestedIterationExecutor(self.catalog).execute(inner).rows
+        return (
+            NestedIterationExecutor(
+                self.catalog,
+                parallelism=self.parallelism,
+                parallel_threshold=self.parallel_threshold,
+            )
+            .execute(inner)
+            .rows
+        )
 
     def _build_pending_setup(self) -> None:
         from repro.errors import ParameterizedPlanError
@@ -313,7 +338,11 @@ class _NestG:
                     "bind parameter: " + to_sql(definition.query)
                 )
             executor = SingleLevelExecutor(
-                self.catalog, self.join_method, engine=self.engine
+                self.catalog,
+                self.join_method,
+                engine=self.engine,
+                parallelism=self.parallelism,
+                parallel_threshold=self.parallel_threshold,
             )
             relation = executor.execute(definition.query)
             self.catalog.register_temp(

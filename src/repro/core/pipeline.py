@@ -117,15 +117,26 @@ class Engine:
         verify: bool = True,
         plan_cache=None,
         engine: str = "row",
+        parallelism: int = 1,
+        parallel_threshold: int | None = None,
     ) -> None:
         if engine not in ("row", "vectorized"):
             raise ReproError(f"unknown execution engine {engine!r}")
+        if parallelism < 1:
+            raise ReproError(f"parallelism must be >= 1, got {parallelism}")
         self.catalog = catalog
         self.join_method = join_method
         #: Evaluation style for single-level execution: "row" runs the
         #: tuple-at-a-time operators, "vectorized" the batch operators
         #: (same plans, same page I/O; see SingleLevelExecutor).
         self.engine = engine
+        #: Intra-query fan-out: partition-parallel scans, probes, and
+        #: aggregations over the shared exchange pool.  1 = serial.
+        #: Orthogonal to ``engine`` (same plans, same page I/O totals).
+        self.parallelism = parallelism
+        #: Inputs below this row count stay serial even when
+        #: ``parallelism > 1`` (None = the engine default).
+        self.parallel_threshold = parallel_threshold
         self.ja_algorithm = ja_algorithm
         self.dedupe_inner = dedupe_inner
         self.dedupe_outer = dedupe_outer
@@ -235,6 +246,8 @@ class Engine:
                     quantifier_mode=self.quantifier_mode,
                     verify=self.verify,
                     engine=self.engine,
+                    parallelism=self.parallelism,
+                    parallel_threshold=self.parallel_threshold,
                 )
                 with self.catalog.read_lock(), bound_params(vector):
                     return session_engine.run(select, method=method)
@@ -256,6 +269,8 @@ class Engine:
             dedupe_inner=self.dedupe_inner,
             join_method=self.join_method,
             engine=self.engine,
+            parallelism=self.parallelism,
+            parallel_threshold=self.parallel_threshold,
         )
 
     def explain(self, query: str | Select) -> str:
@@ -359,7 +374,11 @@ class Engine:
         )
 
         executor = SingleLevelExecutor(
-            self.catalog, self.join_method, engine=self.engine
+            self.catalog,
+            self.join_method,
+            engine=self.engine,
+            parallelism=self.parallelism,
+            parallel_threshold=self.parallel_threshold,
         )
         relation = executor.execute(staging)
         self.catalog.register_temp(
@@ -406,7 +425,11 @@ class Engine:
 
     def _run_nested_iteration(self, select: Select) -> RunReport:
         before = self.catalog.buffer.stats()
-        result = NestedIterationExecutor(self.catalog).execute(select)
+        result = NestedIterationExecutor(
+            self.catalog,
+            parallelism=self.parallelism,
+            parallel_threshold=self.parallel_threshold,
+        ).execute(select)
         io = self.catalog.buffer.stats() - before
         return RunReport(result=result, io=io, method="nested_iteration")
 
@@ -472,6 +495,8 @@ class Engine:
                 self.catalog,
                 ja_algorithm=self.ja_algorithm,
                 dedupe_inner=self.dedupe_inner,
+                parallelism=self.parallelism,
+                parallel_threshold=self.parallel_threshold,
                 join_method=self.join_method,
                 engine=self.engine,
             )
@@ -489,7 +514,11 @@ class Engine:
                 ).num_pages
             for definition in transform.setup[transform.built :]:
                 executor = SingleLevelExecutor(
-                    self.catalog, self.join_method, engine=self.engine
+                    self.catalog,
+                    self.join_method,
+                    engine=self.engine,
+                    parallelism=self.parallelism,
+                    parallel_threshold=self.parallel_threshold,
                 )
                 relation = executor.execute(definition.query)
                 self.catalog.register_temp(
@@ -502,7 +531,11 @@ class Engine:
 
             final_query, strip = self._maybe_dedupe_outer(transform)
             final = SingleLevelExecutor(
-                self.catalog, self.join_method, engine=self.engine
+                self.catalog,
+                self.join_method,
+                engine=self.engine,
+                parallelism=self.parallelism,
+                parallel_threshold=self.parallel_threshold,
             )
             relation = final.execute(final_query)
             steps.append("final: " + "; ".join(final.steps))

@@ -79,6 +79,11 @@ ENGINE_LEGS = {
 #: engine (the interpreted leg triples runtime; opt in via --engines).
 ENGINES = ("compiled", "vectorized")
 
+#: Default parallelism matrix: serial only (cross in degrees with
+#: --parallelism; parallel legs run with ``parallel_threshold=0`` so
+#: the grammar's small cases exercise the exchange operators at all).
+PARALLELISMS = (1,)
+
 
 @dataclass
 class CaseOutcome:
@@ -99,6 +104,7 @@ def run_case(
     case: Case,
     join_methods: tuple[str, ...] = JOIN_METHODS,
     engines: tuple[str, ...] = ENGINES,
+    parallelisms: tuple[int, ...] = PARALLELISMS,
 ) -> CaseOutcome:
     """Execute one case every way and compare normalized bags."""
     catalog = case.build_catalog()
@@ -127,20 +133,27 @@ def run_case(
     transform_skipped = False
     detail_skip = ""
     executors = {
-        name: Engine(
+        (name, degree): Engine(
             catalog,
             dedupe_inner=True,
             dedupe_outer=True,
             engine=ENGINE_LEGS[name][0],
+            parallelism=degree,
+            # The grammar's cases are tiny; without a zero threshold a
+            # parallel leg would silently run the serial operators.
+            parallel_threshold=0 if degree > 1 else None,
         )
         for name in engines
+        for degree in parallelisms
     }
     for join_method in join_methods:
         page_ios: dict[str, int] = {}
-        for engine_name in engines:
-            executor = executors[engine_name]
+        for engine_name, degree in executors:
+            executor = executors[(engine_name, degree)]
             executor.join_method = join_method
             suffix = "" if engine_name == "compiled" else f"|{engine_name}"
+            if degree > 1:
+                suffix += f"|p{degree}"
             leg = f"transform[{join_method}{suffix}]"
             compiler_on = ENGINE_LEGS[engine_name][1]
             # Cold cache per leg (the bench protocol): page I/O must
@@ -167,13 +180,14 @@ def run_case(
                 )
         if transform_skipped:
             break
-        # Every engine leg of one join method must charge the same
-        # page I/O — batch execution may not change the cost model.
+        # Every engine and parallelism leg of one join method must
+        # charge the same page I/O — neither batch execution nor the
+        # exchange operators may change the cost model.
         if len(set(page_ios.values())) > 1:
             return CaseOutcome(
                 case,
                 "divergence",
-                detail=f"page I/O differs across engines: {page_ios}",
+                detail=f"page I/O differs across legs: {page_ios}",
                 results=results,
             )
 
@@ -224,6 +238,7 @@ def run_difftest(
     minimize: bool = True,
     join_methods: tuple[str, ...] = JOIN_METHODS,
     engines: tuple[str, ...] = ENGINES,
+    parallelisms: tuple[int, ...] = PARALLELISMS,
 ) -> Report:
     """Generate and check ``examples`` cases; minimize any failure."""
     from repro.difftest.minimize import minimize_case
@@ -232,7 +247,7 @@ def run_difftest(
     report = Report()
     for index in range(examples):
         case = generator.case(index)
-        outcome = run_case(case, join_methods, engines)
+        outcome = run_case(case, join_methods, engines, parallelisms)
         report.examples += 1
         if outcome.status == "ok":
             report.ok += 1
@@ -241,11 +256,14 @@ def run_difftest(
             continue
         if minimize:
             shrunk = minimize_case(
-                case, lambda c: run_case(c, join_methods, engines).failed
+                case,
+                lambda c: run_case(
+                    c, join_methods, engines, parallelisms
+                ).failed,
             )
-            outcome = run_case(shrunk, join_methods, engines)
+            outcome = run_case(shrunk, join_methods, engines, parallelisms)
             if not outcome.failed:  # pragma: no cover - shrinker invariant
-                outcome = run_case(case, join_methods, engines)
+                outcome = run_case(case, join_methods, engines, parallelisms)
         report.failures.append(outcome)
         if stop_on_failure:
             break
@@ -304,6 +322,13 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated engine legs for the transform runs, from "
         f"{{{','.join(ENGINE_LEGS)}}} (default: {','.join(ENGINES)})",
     )
+    parser.add_argument(
+        "--parallelism",
+        default=",".join(str(p) for p in PARALLELISMS),
+        help="comma-separated worker-shard degrees crossed with the "
+        "engine legs; degrees > 1 run with parallel_threshold=0 "
+        "(default: 1)",
+    )
     args = parser.parse_args(argv)
 
     join_methods = tuple(
@@ -319,12 +344,23 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             f"unknown engine(s) {unknown}; choose from {list(ENGINE_LEGS)}"
         )
+    try:
+        parallelisms = tuple(
+            int(token.strip())
+            for token in args.parallelism.split(",")
+            if token.strip()
+        )
+    except ValueError:
+        parser.error(f"--parallelism must be integers: {args.parallelism!r}")
+    if any(degree < 1 for degree in parallelisms):
+        parser.error("--parallelism degrees must be >= 1")
     report = run_difftest(
         examples=args.examples,
         seed=args.seed,
         stop_on_failure=not args.keep_going,
         join_methods=join_methods,
         engines=engines,
+        parallelisms=parallelisms,
     )
     for outcome in report.failures:
         print(format_outcome(outcome))

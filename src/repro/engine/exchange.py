@@ -1,0 +1,136 @@
+"""Scatter-gather exchange: the shared worker pool for intra-query
+parallelism.
+
+One process-wide, size-bounded thread pool executes every parallel
+operator's partition tasks — the same discipline the serving layer uses
+for inter-query concurrency (a fixed pool, not a thread per request),
+now applied inside a single query.  Sharing one pool keeps the total
+thread count bounded no matter how many concurrent queries each ask for
+``parallelism=N``.
+
+Why this is safe and deadlock-free:
+
+* **No nested submission.**  Partition tasks never submit sub-tasks to
+  the pool: :func:`run_tasks` sets a thread-local flag while a task
+  runs, and any :func:`run_tasks` call made *from inside a task* (a
+  parallel operator reached through a nested-iteration worker, say)
+  executes its functions inline on the calling thread.  A bounded pool
+  whose tasks can wait on other tasks can deadlock; one whose tasks are
+  always leaves cannot.
+* **Ordered gather.**  Results come back in task order regardless of
+  completion order — partition 0's output precedes partition 1's — so a
+  range-partitioned scan gathered through the exchange reproduces the
+  serial scan's row order exactly.
+* **Width bounding.**  A query's ``parallelism=N`` may be smaller than
+  its partition count; a semaphore limits that query's *executing*
+  tasks to N while the extras queue.  (The pool cap bounds the whole
+  process; the semaphore bounds one query.)
+* **First-error propagation.**  The gather waits for every task to
+  settle, then re-raises the first exception in task order.  Waiting
+  for settlement before raising means no task is still touching shared
+  state (a heap being dropped, a buffer pool being reset) after the
+  exchange returns.
+
+The GIL means pure-Python work does not speed up across threads; the
+parallelism here overlaps the *simulated I/O* (``DiskManager`` sleeps
+outside all locks on reads), exactly like the serving layer's
+throughput story.  The page-I/O totals are unaffected: each task reads
+its own disjoint page shard once, so the sum over tasks equals the
+serial schedule (see DESIGN.md, "page-I/O identity").
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+__all__ = ["POOL_MAX_WORKERS", "run_tasks", "shutdown_pool"]
+
+#: Hard cap on exchange worker threads for the whole process.
+POOL_MAX_WORKERS = 16
+
+_pool: ThreadPoolExecutor | None = None
+_pool_lock = threading.Lock()
+_local = threading.local()
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = ThreadPoolExecutor(
+                max_workers=POOL_MAX_WORKERS,
+                thread_name_prefix="repro-exchange",
+            )
+        return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests); it is recreated on next use."""
+    global _pool
+    with _pool_lock:
+        pool, _pool = _pool, None
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+def in_worker() -> bool:
+    """True when the calling thread is executing an exchange task."""
+    return bool(getattr(_local, "active", False))
+
+
+def run_tasks(
+    fns: Sequence[Callable[[], Any]], width: int | None = None
+) -> list[Any]:
+    """Run ``fns`` on the shared pool; gather results in task order.
+
+    ``width`` bounds how many of *this call's* tasks execute at once
+    (a query's ``parallelism`` knob); ``None`` means no per-call bound
+    beyond the pool cap.  Calls made from inside an exchange task, with
+    a single task, or with ``width=1`` run inline serially — same
+    results, same I/O, no pool interaction.
+    """
+    fns = list(fns)
+    if not fns:
+        return []
+    if len(fns) == 1 or width == 1 or in_worker():
+        return [fn() for fn in fns]
+    semaphore = (
+        threading.Semaphore(width)
+        if width is not None and width < len(fns)
+        else None
+    )
+
+    def call(fn: Callable[[], Any]) -> Any:
+        _local.active = True
+        try:
+            if semaphore is None:
+                return fn()
+            with semaphore:
+                return fn()
+        finally:
+            _local.active = False
+
+    pool = _shared_pool()
+    # Context propagation: bind-parameter values travel in a ContextVar
+    # (repro.engine.params), which pool threads do not inherit.  Each
+    # task gets its own copy of the submitting context — a single
+    # Context object cannot be entered by two threads at once.
+    futures = [
+        pool.submit(contextvars.copy_context().run, call, fn) for fn in fns
+    ]
+    results: list[Any] = []
+    first_error: BaseException | None = None
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if first_error is None:
+                first_error = exc
+            results.append(None)
+    if first_error is not None:
+        raise first_error
+    return results

@@ -22,8 +22,10 @@ compare every rewritten plan's result against it (multiset equality).
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass
+from functools import partial
 
 from repro.catalog.catalog import Catalog
 from repro.engine.aggregate import compute_aggregate
@@ -71,8 +73,43 @@ class QueryResult:
         return len(self.rows)
 
 
+class _Pending:
+    """Single-flight cache placeholder: the owner thread is computing
+    this entry; waiters block on the event, then re-read the cache."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+_MISSING = object()
+
+
 class NestedIterationExecutor(SubqueryHandler):
-    """Evaluates nested queries by (cached) nested iteration."""
+    """Evaluates nested queries by (cached) nested iteration.
+
+    Concurrency.  With ``parallelism > 1`` the *outermost* loop of a
+    single-table top-level block is sharded across the exchange pool
+    (each worker evaluates the WHERE plan — correlated subqueries and
+    all — over its own page shard of the outer table).  The result
+    caches are then shared mutable state:
+
+    * ``_scalar_cache`` / ``_column_cache`` / ``_corr_memo`` hold
+      *computed results*, where a lost-update race would change
+      observable I/O (recomputing an inner block re-reads its pages;
+      recomputing the materialized ``X`` writes a second temp).  They
+      are single-flight: one lock guards the maps, and the first
+      thread to miss installs a :class:`_Pending` entry and computes
+      while later threads block on it — each inner block still runs
+      exactly once per key, same as serial.
+    * the plan caches (``_where_plans``, ``_item_plans``,
+      ``_scalar_plans``, ``_outer_ref_plans``, ``_index_plans``) map
+      AST node ids to pure, idempotent derivations.  Two threads may
+      race to compute the same plan; both results are identical, the
+      dict store is atomic under the GIL, and no I/O is involved — so
+      these stay lock-free.
+    """
 
     def __init__(
         self,
@@ -81,12 +118,20 @@ class NestedIterationExecutor(SubqueryHandler):
         use_indexes: bool = True,
         memoize_correlated: bool = True,
         verify: bool = True,
+        parallelism: int = 1,
+        parallel_threshold: int | None = None,
     ) -> None:
         self.catalog = catalog
         self.materialize_uncorrelated = materialize_uncorrelated
         self.use_indexes = use_indexes
         self.memoize_correlated = memoize_correlated
         self.verify = verify
+        self.parallelism = parallelism
+        if parallel_threshold is None:
+            from repro.engine.parallel import DEFAULT_PARALLEL_THRESHOLD
+
+            parallel_threshold = DEFAULT_PARALLEL_THRESHOLD
+        self.parallel_threshold = parallel_threshold
         self._scalar_cache: dict[int, object] = {}
         self._column_cache: dict[int, Relation | list[object]] = {}
         self._index_plans: dict[int, object] = {}
@@ -99,6 +144,39 @@ class NestedIterationExecutor(SubqueryHandler):
         # result, plus the per-query list of referenced outer columns.
         self._outer_ref_plans: dict[int, object] = {}
         self._corr_memo: dict[tuple, object] = {}
+        self._cache_lock = threading.Lock()
+
+    def _single_flight(self, cache: dict, key, compute):
+        """Return ``cache[key]``, computing it exactly once.
+
+        The first thread to miss installs a :class:`_Pending` marker
+        and computes outside the lock (the computation reads pages and
+        may evaluate further subqueries — holding the lock across it
+        would serialize all workers).  Waiters block on the marker's
+        event and re-read.  On failure the marker is removed so a
+        waiter retries the computation rather than caching an error.
+        """
+        while True:
+            with self._cache_lock:
+                entry = cache.get(key, _MISSING)
+                if entry is _MISSING:
+                    pending = _Pending()
+                    cache[key] = pending
+                    break
+            if not isinstance(entry, _Pending):
+                return entry
+            entry.event.wait()
+        try:
+            value = compute()
+        except BaseException:
+            with self._cache_lock:
+                cache.pop(key, None)
+            pending.event.set()
+            raise
+        with self._cache_lock:
+            cache[key] = value
+        pending.event.set()
+        return value
 
     # -- public API ------------------------------------------------------
 
@@ -141,70 +219,88 @@ class NestedIterationExecutor(SubqueryHandler):
 
     def scalar(self, query: Select, context: EvalContext | None) -> object:
         correlated = self._is_correlated(query)
-        if not correlated and id(query) in self._scalar_cache:
-            return self._scalar_cache[id(query)]
-        memo_key = self._memo_key("scalar", query, context) if correlated else None
-        if memo_key is not None and memo_key in self._corr_memo:
-            return self._corr_memo[memo_key]
-        _, rows = self._execute_block(query, outer=None if not correlated else context)
+        if not correlated:
+            return self._single_flight(
+                self._scalar_cache,
+                id(query),
+                partial(self._scalar_value, query, None),
+            )
+        memo_key = self._memo_key("scalar", query, context)
+        if memo_key is None:
+            return self._scalar_value(query, context)
+        return self._single_flight(
+            self._corr_memo, memo_key, partial(self._scalar_value, query, context)
+        )
+
+    def _scalar_value(self, query: Select, outer: EvalContext | None) -> object:
+        _, rows = self._execute_block(query, outer=outer)
         if rows and len(rows[0]) != 1:
             raise ExecutionError("scalar subquery must select one column")
         if len(rows) > 1:
             raise CardinalityError(
                 f"scalar subquery returned {len(rows)} rows: {to_sql(query)}"
             )
-        value = rows[0][0] if rows else None
-        if not correlated:
-            self._scalar_cache[id(query)] = value
-        elif memo_key is not None:
-            self._corr_memo[memo_key] = value
-        return value
+        return rows[0][0] if rows else None
 
     def column(self, query: Select, context: EvalContext | None) -> list[object]:
         correlated = self._is_correlated(query)
         if not correlated:
-            cached = self._column_cache.get(id(query))
-            if cached is None:
-                _, rows = self._execute_block(query, outer=None)
-                if rows and len(rows[0]) != 1:
-                    raise ExecutionError("IN subquery must select one column")
-                values = [row[0] for row in rows]
-                if self.materialize_uncorrelated:
-                    # System R's X: the inner result lives on disk and is
-                    # rescanned per outer tuple (cheap only if it fits in B).
-                    cached = Relation.materialize(
-                        RowSchema([(None, "X")]),
-                        [(v,) for v in values],
-                        self.catalog.buffer,
-                        name="X",
-                    )
-                else:
-                    cached = values
-                self._column_cache[id(query)] = cached
+            cached = self._single_flight(
+                self._column_cache,
+                id(query),
+                partial(self._column_store, query),
+            )
             if isinstance(cached, Relation):
                 return [row[0] for row in cached]
             return list(cached)
         memo_key = self._memo_key("column", query, context)
-        if memo_key is not None and memo_key in self._corr_memo:
-            return self._corr_memo[memo_key]
-        _, rows = self._execute_block(query, outer=context)
+        if memo_key is None:
+            return self._column_values(query, context)
+        return self._single_flight(
+            self._corr_memo, memo_key, partial(self._column_values, query, context)
+        )
+
+    def _column_store(self, query: Select) -> Relation | list[object]:
+        values = self._column_values(query, None)
+        if not self.materialize_uncorrelated:
+            return values
+        # System R's X: the inner result lives on disk and is
+        # rescanned per outer tuple (cheap only if it fits in B).
+        # Single-flight matters doubly here: a duplicated computation
+        # would not just waste work, it would *write a second temp* —
+        # extra page I/O and a leaked heap.
+        return Relation.materialize(
+            RowSchema([(None, "X")]),
+            [(v,) for v in values],
+            self.catalog.buffer,
+            name="X",
+        )
+
+    def _column_values(
+        self, query: Select, outer: EvalContext | None
+    ) -> list[object]:
+        _, rows = self._execute_block(query, outer=outer)
         if rows and len(rows[0]) != 1:
             raise ExecutionError("IN subquery must select one column")
-        values = [row[0] for row in rows]
-        if memo_key is not None:
-            self._corr_memo[memo_key] = values
-        return values
+        return [row[0] for row in rows]
 
     def exists(self, query: Select, context: EvalContext | None) -> bool:
         correlated = self._is_correlated(query)
-        memo_key = self._memo_key("exists", query, context) if correlated else None
-        if memo_key is not None and memo_key in self._corr_memo:
-            return self._corr_memo[memo_key]
-        _, rows = self._execute_block(query, outer=context if correlated else None)
-        found = bool(rows)
-        if memo_key is not None:
-            self._corr_memo[memo_key] = found
-        return found
+        memo_key = (
+            self._memo_key("exists", query, context) if correlated else None
+        )
+        if memo_key is None:
+            _, rows = self._execute_block(
+                query, outer=context if correlated else None
+            )
+            return bool(rows)
+        return self._single_flight(
+            self._corr_memo, memo_key, partial(self._exists_value, query, context)
+        )
+
+    def _exists_value(self, query: Select, context: EvalContext | None) -> bool:
+        _, rows = self._execute_block(query, outer=context)
+        return bool(rows)
 
     def _memo_key(
         self, kind: str, query: Select, context: EvalContext | None
@@ -288,30 +384,96 @@ class NestedIterationExecutor(SubqueryHandler):
         if indexed is not None:
             return indexed
         plan = self._where_plan(select, schema, outer)
+        parallel = self._parallel_qualifying_rows(select, schema, outer, plan)
+        if parallel is not None:
+            return parallel
         rows: list[tuple] = []
         for combined in self._from_rows(select, 0, ()):
-            context: EvalContext | None = None
-            keep: bool | None = True
-            # Conjuncts evaluated in predicate order, stopping on the
-            # first False — exactly the interpreter's AND semantics, so
-            # mixing compiled and interpreted conjuncts changes nothing.
-            for conjunct, compiled in plan:
-                if compiled is not None:
-                    value = compiled(combined, outer)
-                else:
-                    if context is None:
-                        context = EvalContext(
-                            combined, schema, outer, subquery_handler=self
-                        )
-                    value = eval_predicate(conjunct, context)
-                if value is False:
-                    keep = False
-                    break
-                if value is not True:
-                    keep = None
-            if keep is True:
+            if self._row_qualifies(plan, combined, schema, outer):
                 rows.append(combined)
         return rows
+
+    def _row_qualifies(
+        self,
+        plan: list,
+        combined: tuple,
+        schema: RowSchema,
+        outer: EvalContext | None,
+    ) -> bool:
+        context: EvalContext | None = None
+        keep = True
+        # Conjuncts evaluated in predicate order, stopping on the
+        # first False — exactly the interpreter's AND semantics, so
+        # mixing compiled and interpreted conjuncts changes nothing.
+        for conjunct, compiled in plan:
+            if compiled is not None:
+                value = compiled(combined, outer)
+            else:
+                if context is None:
+                    context = EvalContext(
+                        combined, schema, outer, subquery_handler=self
+                    )
+                value = eval_predicate(conjunct, context)
+            if value is False:
+                return False
+            if value is not True:
+                keep = False
+        return keep
+
+    def _parallel_qualifying_rows(
+        self,
+        select: Select,
+        schema: RowSchema,
+        outer: EvalContext | None,
+        plan: list,
+    ) -> list[tuple] | None:
+        """Shard the outermost loop across the exchange pool, or None.
+
+        Only the *top-level* block of a *single-table* FROM clause
+        fans out: workers evaluate the full WHERE plan — correlated
+        subqueries included — over disjoint page shards of the outer
+        table, and the ordered gather restores scan order, so the
+        qualifying rows come back exactly as the serial loop would
+        produce them.  Inner blocks (``outer is not None``) stay serial
+        on whichever thread reached them, and multi-table blocks stay
+        serial because their nested inner rescans are re-read-sensitive
+        under concurrent eviction.  Page-I/O identity for the sharded
+        loop itself holds by the single-pass argument (disjoint shards,
+        each page read once); the subqueries a worker triggers are
+        deduplicated by the single-flight caches, so inner blocks run
+        once per memo key — the serial schedule — and their reads are
+        identical whenever the buffer keeps the working set resident,
+        which the serial executor requires for its own costs anyway.
+        """
+        if (
+            outer is not None
+            or self.parallelism <= 1
+            or len(select.from_tables) != 1
+        ):
+            return None
+        heap = self.catalog.heap_of(select.from_tables[0].name)
+        if heap.num_rows < self.parallel_threshold:
+            return None
+        from repro.engine.exchange import in_worker, run_tasks
+
+        if in_worker():
+            return None
+        nparts = max(1, min(self.parallelism, heap.num_pages))
+        shards = heap.partition_pages(nparts)
+
+        def work(index: int) -> list[tuple]:
+            rows: list[tuple] = []
+            for _page_index, batch in heap.scan_pages_partition(shards[index]):
+                for combined in batch:
+                    if self._row_qualifies(plan, combined, schema, None):
+                        rows.append(combined)
+            return rows
+
+        gathered = run_tasks(
+            [partial(work, index) for index in range(nparts)],
+            width=self.parallelism,
+        )
+        return [row for shard in gathered for row in shard]
 
     def _where_plan(
         self, select: Select, schema: RowSchema, outer: EvalContext | None

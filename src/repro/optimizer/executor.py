@@ -90,15 +90,25 @@ class SingleLevelExecutor:
         join_method: str = "merge",
         verify: bool = True,
         engine: str = "row",
+        parallelism: int = 1,
+        parallel_threshold: int | None = None,
     ) -> None:
         if join_method not in ("merge", "nested", "hash"):
             raise PlanError(f"unknown join method {join_method!r}")
         if engine not in ("row", "vectorized"):
             raise PlanError(f"unknown execution engine {engine!r}")
+        if parallelism < 1:
+            raise PlanError(f"parallelism must be >= 1, got {parallelism}")
         self.catalog = catalog
         self.buffer = catalog.buffer
         self.join_method = join_method
         self.engine = engine
+        self.parallelism = parallelism
+        if parallel_threshold is None:
+            from repro.engine.parallel import DEFAULT_PARALLEL_THRESHOLD
+
+            parallel_threshold = DEFAULT_PARALLEL_THRESHOLD
+        self.parallel_threshold = parallel_threshold
         self.verify = verify
         self.steps: list[str] = []
         if engine == "vectorized":
@@ -126,6 +136,92 @@ class SingleLevelExecutor:
             self._hash_distinct = hash_distinct
             self._sorted_aggregate = group_aggregate
             self._hash_aggregate = hash_group_aggregate
+        if parallelism > 1:
+            self._bind_parallel_operators()
+
+    def _bind_parallel_operators(self) -> None:
+        """Wrap the bound single-pass operators with partition-parallel
+        counterparts, gated per input on the row-count threshold.
+
+        Inputs below ``parallel_threshold`` run the serial operator —
+        fan-out overhead would swamp any I/O overlap there — so one
+        plan freely mixes parallel big-input steps with serial small
+        ones.  Only the single-pass operators fan out; merge/nested
+        joins and external sorts re-read pages, where thread
+        interleaving under eviction pressure could perturb the re-read
+        counts, so they stay serial and the page-I/O identity invariant
+        holds unconditionally (see :mod:`repro.engine.parallel`).
+        """
+        from repro.engine.parallel import (
+            parallel_distinct,
+            parallel_group_aggregate,
+            parallel_hash_join,
+            parallel_restrict_project,
+        )
+
+        width = self.parallelism
+        threshold = self.parallel_threshold
+        engine = self.engine
+        serial_rp = self._restrict_project
+        serial_hj = self._hash_join
+        serial_distinct = self._hash_distinct
+
+        def rp(source, buffer, predicate=None, projections=None,
+               name=None, rows_per_page=None):
+            if source.num_rows >= threshold:
+                return parallel_restrict_project(
+                    source, buffer, predicate=predicate,
+                    projections=projections, name=name,
+                    rows_per_page=rows_per_page,
+                    parallelism=width, engine=engine,
+                )
+            return serial_rp(
+                source, buffer, predicate=predicate,
+                projections=projections, name=name,
+                rows_per_page=rows_per_page,
+            )
+
+        def hj(left, right, buffer, left_key, right_key, mode="inner",
+               name=None, null_safe=False, residual=None):
+            if left.num_rows >= threshold:
+                return parallel_hash_join(
+                    left, right, buffer, left_key, right_key, mode=mode,
+                    name=name, null_safe=null_safe, residual=residual,
+                    parallelism=width,
+                )
+            return serial_hj(
+                left, right, buffer, left_key, right_key, mode=mode,
+                name=name, null_safe=null_safe, residual=residual,
+            )
+
+        def aggregate_wrapper(serial):
+            def aggregate(source, buffer, group_columns, specs, out_names,
+                          name=None, always_emit=False):
+                if source.num_rows >= threshold:
+                    return parallel_group_aggregate(
+                        source, buffer, group_columns, specs, out_names,
+                        name=name, always_emit=always_emit,
+                        parallelism=width,
+                    )
+                return serial(
+                    source, buffer, group_columns, specs, out_names,
+                    name=name, always_emit=always_emit,
+                )
+
+            return aggregate
+
+        def distinct(source, buffer, name=None):
+            if source.num_rows >= threshold:
+                return parallel_distinct(
+                    source, buffer, name=name, parallelism=width
+                )
+            return serial_distinct(source, buffer, name=name)
+
+        self._restrict_project = rp
+        self._hash_join = hj
+        self._sorted_aggregate = aggregate_wrapper(self._sorted_aggregate)
+        self._hash_aggregate = aggregate_wrapper(self._hash_aggregate)
+        self._hash_distinct = distinct
 
     # -- public API --------------------------------------------------------
 

@@ -57,6 +57,8 @@ def engine_config(engine: Engine, method: str) -> tuple:
         method,
         engine.join_method,
         engine.engine,
+        engine.parallelism,
+        engine.parallel_threshold,
         engine.ja_algorithm,
         engine.dedupe_inner,
         engine.dedupe_outer,
@@ -81,6 +83,10 @@ class CachedPlan:
     #: Evaluation style ("row" | "vectorized") baked in at plan time;
     #: part of the cache key via :func:`engine_config`.
     engine: str = "row"
+    #: Worker-shard count (and its activation threshold) baked in at
+    #: plan time; also part of the cache key.
+    parallelism: int = 1
+    parallel_threshold: int | None = None
     transform: GeneralTransform | None = None
     final_query: Select | None = None
     strip: int = 0
@@ -160,9 +166,11 @@ class CachedPlan:
         try:
             with catalog.read_lock(), bound_params(values):
                 if self.kind == "nested_iteration":
-                    result = NestedIterationExecutor(session).execute(
-                        self.rewritten
-                    )
+                    result = NestedIterationExecutor(
+                        session,
+                        parallelism=self.parallelism,
+                        parallel_threshold=self.parallel_threshold,
+                    ).execute(self.rewritten)
                     io = session.buffer.stats() - before
                     return RunReport(
                         result=result, io=io, method="cached-nested_iteration"
@@ -174,6 +182,8 @@ class CachedPlan:
                     final = SingleLevelExecutor(
                         session, self.join_method, verify=False,
                         engine=self.engine,
+                        parallelism=self.parallelism,
+                        parallel_threshold=self.parallel_threshold,
                     )
                     relation = final.execute(self.final_query)
                     steps.append("final")
@@ -225,7 +235,9 @@ class CachedPlan:
         built: list[tuple] = []
         for definition in self.transform.setup:
             executor = SingleLevelExecutor(
-                session, self.join_method, verify=False, engine=self.engine
+                session, self.join_method, verify=False, engine=self.engine,
+                parallelism=self.parallelism,
+                parallel_threshold=self.parallel_threshold,
             )
             relation = executor.execute(definition.query)
             columns = executor.output_names(definition.query)
@@ -274,6 +286,8 @@ def build_plan(
         quantifier_mode=engine.quantifier_mode,
         verify=engine.verify,
         engine=engine.engine,
+        parallelism=engine.parallelism,
+        parallel_threshold=engine.parallel_threshold,
     )
     config = engine_config(engine, method)
     with catalog.read_lock():
@@ -292,6 +306,8 @@ def build_plan(
                     param_specs=specs,
                     join_method=engine.join_method,
                     engine=engine.engine,
+                    parallelism=engine.parallelism,
+                    parallel_threshold=engine.parallel_threshold,
                 )
             try:
                 transform = nest_g(
@@ -301,6 +317,8 @@ def build_plan(
                     dedupe_inner=engine.dedupe_inner,
                     join_method=engine.join_method,
                     engine=engine.engine,
+                    parallelism=engine.parallelism,
+                    parallel_threshold=engine.parallel_threshold,
                 )
                 verify_trace = (
                     planner._verify_transform(rewritten, transform)
@@ -346,6 +364,8 @@ def build_plan(
                     param_specs=specs,
                     join_method=engine.join_method,
                     engine=engine.engine,
+                    parallelism=engine.parallelism,
+                    parallel_threshold=engine.parallel_threshold,
                     transform=transform,
                     final_query=final_query,
                     strip=strip,
@@ -374,6 +394,8 @@ def build_plan(
                     param_specs=specs,
                     join_method=engine.join_method,
                     engine=engine.engine,
+                    parallelism=engine.parallelism,
+                    parallel_threshold=engine.parallel_threshold,
                 )
         finally:
             session.drop_temp_tables()

@@ -203,6 +203,8 @@ class PreparedStatement:
             quantifier_mode=self.engine.quantifier_mode,
             verify=self.engine.verify,
             engine=self.engine.engine,
+            parallelism=self.engine.parallelism,
+            parallel_threshold=self.engine.parallel_threshold,
         )
         with catalog.read_lock(), bound_params(vector):
             return session_engine.run(self.select, method=self.method)

@@ -42,7 +42,9 @@ from repro.storage.stats import IOStats
 #: Default buffer size in pages; benchmarks override it per experiment.
 DEFAULT_BUFFER_PAGES = 8
 
-#: Number of per-page fault latches (power of two, modulo-mapped).
+#: Default number of per-page fault latches (modulo-mapped).  Parallel
+#: partitioned scans may raise this per pool so workers faulting on
+#: disjoint page shards rarely share a latch.
 _STRIPE_COUNT = 16
 
 
@@ -50,12 +52,17 @@ class BufferPool:
     """An LRU cache of page frames backed by a :class:`DiskManager`."""
 
     def __init__(
-        self, disk: DiskManager, capacity: int = DEFAULT_BUFFER_PAGES
+        self,
+        disk: DiskManager,
+        capacity: int = DEFAULT_BUFFER_PAGES,
+        stripes: int = _STRIPE_COUNT,
     ) -> None:
         if capacity < 2:
             raise StorageError(
                 f"buffer pool needs at least 2 pages, got {capacity}"
             )
+        if stripes < 1:
+            raise StorageError(f"stripe count must be >= 1, got {stripes}")
         self.disk = disk
         self.capacity = capacity
         # Residency and eviction order are tracked separately: _frames
@@ -68,7 +75,7 @@ class BufferPool:
         self._pinned: set[int] = set()
         self.hits = 0
         self._lock = threading.RLock()
-        self._stripes = tuple(threading.Lock() for _ in range(_STRIPE_COUNT))
+        self._stripes = tuple(threading.Lock() for _ in range(stripes))
 
     # -- page access ---------------------------------------------------------
 
@@ -89,7 +96,7 @@ class BufferPool:
         # Miss: fault the page in under its stripe latch so concurrent
         # misses on the same page read it once, while faults on other
         # pages proceed in parallel.
-        with self._stripes[page_id % _STRIPE_COUNT]:
+        with self._stripes[page_id % len(self._stripes)]:
             with self._lock:
                 frame = self._frames.get(page_id)
                 if frame is not None:

@@ -12,6 +12,7 @@ Determinism: every generator takes a ``seed`` and uses its own
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass
 
@@ -43,6 +44,15 @@ class PartsSupplySpec:
         duplicate_fraction: fraction of extra duplicate-PNUM rows to
             append to PARTS (the section 5.4 scenario).
         seed: RNG seed.
+        io_delay: simulated per-page-read latency in seconds, passed to
+            the instance's :class:`DiskManager` (used by the parallel
+            benchmark to model I/O-bound scans — reads sleep outside
+            all locks, so concurrent shards overlap their waits).
+        skew: when > 0, draw SUPPLY's matching PNUMs from a zipf-ish
+            distribution instead of uniformly (see :func:`skewed_keys`);
+            higher values concentrate shipments on a few hot parts,
+            which stresses partition balance and hash-join build
+            chains.
     """
 
     num_parts: int = 50
@@ -53,6 +63,38 @@ class PartsSupplySpec:
     before_cutoff_fraction: float = 0.7
     duplicate_fraction: float = 0.0
     seed: int = 0
+    io_delay: float = 0.0
+    skew: float = 0.0
+
+
+def skewed_keys(
+    rng: random.Random, universe: list, count: int, skew: float
+) -> list:
+    """Draw ``count`` keys from ``universe`` with zipf-ish skew.
+
+    ``skew`` is the Zipf exponent ``s``: key rank ``r`` (1-based) gets
+    weight ``1 / r**s``.  ``s = 0`` is uniform; ``s = 1`` is classic
+    Zipf (the hottest key drawn ~``H_n`` times more often than the
+    coldest); larger ``s`` concentrates harder.  Uses inverse-CDF
+    sampling over the precomputed cumulative weights, so it needs no
+    external dependencies and stays deterministic under the caller's
+    ``rng``.
+    """
+    if not universe:
+        return []
+    if skew <= 0.0:
+        return [rng.choice(universe) for _ in range(count)]
+    weights = [1.0 / (rank**skew) for rank in range(1, len(universe) + 1)]
+    cumulative = []
+    total = 0.0
+    for weight in weights:
+        total += weight
+        cumulative.append(total)
+    picks = []
+    for _ in range(count):
+        point = rng.random() * total
+        picks.append(universe[bisect.bisect_left(cumulative, point)])
+    return picks
 
 
 def build_parts_supply(spec: PartsSupplySpec) -> Catalog:
@@ -63,7 +105,11 @@ def build_parts_supply(spec: PartsSupplySpec) -> Catalog:
     (including zero-count parts).
     """
     rng = random.Random(spec.seed)
-    catalog = Catalog(BufferPool(DiskManager(), capacity=spec.buffer_pages))
+    catalog = Catalog(
+        BufferPool(
+            DiskManager(io_delay=spec.io_delay), capacity=spec.buffer_pages
+        )
+    )
     catalog.create_table(
         schema("PARTS", "PNUM", "QOH", key=("PNUM",)),
         rows_per_page=spec.rows_per_page,
@@ -84,10 +130,17 @@ def build_parts_supply(spec: PartsSupplySpec) -> Catalog:
         parts_rows.append((pnum, rng.randint(0, max(2, int(2 * expected)))))
     catalog.insert("PARTS", parts_rows)
 
+    # Skewed draws are pre-sampled (skew=0 keeps the legacy call order,
+    # so existing seeds reproduce byte-identical instances).
+    hot = (
+        iter(skewed_keys(rng, pnums, spec.num_supply, spec.skew))
+        if spec.skew > 0
+        else None
+    )
     supply_rows = []
     for _ in range(spec.num_supply):
         if rng.random() < spec.match_fraction:
-            pnum = rng.choice(pnums)
+            pnum = next(hot) if hot is not None else rng.choice(pnums)
         else:
             pnum = spec.num_parts + rng.randint(1, 10)  # dangling
         quan = rng.randint(1, 9)

@@ -135,6 +135,63 @@ class TestDropVsScan:
         # Only the survivor's pages remain on disk.
         assert buffer.disk.num_pages == survivor.num_pages
 
+    def test_parallel_partition_scan_racing_drop(self):
+        """A sharded scan (the exchange operators' access pattern) racing
+        a drop: each worker either reads its shard's true pages or fails
+        with StorageError — a successfully read page always carries its
+        full, consistent rows, never a torn or resurrected frame."""
+        from repro.engine.exchange import run_tasks
+
+        for _ in range(20):
+            buffer = BufferPool(DiskManager(), capacity=8)
+            relation = make_relation(buffer)
+            heap = relation.heap
+            shards = heap.partition_pages(4)
+            expected_by_page = {
+                page_index: ROWS[page_index * 4 : page_index * 4 + 4]
+                for page_index in range(heap.num_pages)
+            }
+            start = threading.Barrier(2, timeout=10)
+
+            def scan_all():
+                def scan_shard(shard):
+                    got = []
+                    try:
+                        for page_index, rows in heap.scan_pages_partition(
+                            shard
+                        ):
+                            assert rows == expected_by_page[page_index], (
+                                "torn page read"
+                            )
+                            got.extend(rows)
+                    except StorageError:
+                        return ("error", got)
+                    return ("complete", got)
+
+                start.wait()
+                return run_tasks([
+                    lambda shard=shard: scan_shard(shard) for shard in shards
+                ])
+
+            def dropper():
+                start.wait()
+                relation.drop()
+
+            drop_thread = threading.Thread(target=dropper)
+            drop_thread.start()
+            outcomes = scan_all()
+            drop_thread.join()
+            assert len(outcomes) == 4
+            complete = [
+                rows for status, rows in outcomes if status == "complete"
+            ]
+            if len(complete) == 4:  # scan won the race outright
+                assert Counter(
+                    row for rows in complete for row in rows
+                ) == Counter(ROWS)
+            assert buffer.disk.num_pages == 0
+            assert relation.num_pages == 0
+
     def test_drop_is_idempotent_under_concurrency(self):
         buffer = BufferPool(DiskManager(), capacity=8)
         relation = make_relation(buffer)
