@@ -1,0 +1,13 @@
+"""WAL crash-recovery timing sweep (thin wrapper).
+
+See :mod:`repro.bench.recovery` for the measurement protocol.
+Merges its records into ``BENCH_PR8.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_txn.py
+    PYTHONPATH=src python benchmarks/bench_txn.py --smoke
+"""
+
+from repro.bench.recovery import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

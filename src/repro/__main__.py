@@ -23,7 +23,14 @@ the session::
     \\analyze [TABLE]       collect optimizer statistics
     \\index TABLE COLUMN    build an index (used by nested iteration)
     \\tables                list tables
-    \\cache                 plan-cache counters (hits/misses/...)
+    \\cache                 plan-cache counters (hits/misses/...,
+                            snapshot-pin hits, memo flushes)
+    \\txn                   transaction/WAL status (commits, aborts,
+                            versions, pinned reads, log size)
+    \\txn begin             open a transaction: INSERTs buffer in it,
+                            SELECTs read your writes
+    \\txn commit            publish the open transaction's rows
+    \\txn rollback          undo the open transaction
     \\io                    cumulative page-I/O counters
     \\reset                 zero the counters and cool the cache
     \\help                  this text
@@ -91,6 +98,7 @@ class Shell:
         self.out = out
         self.done = False
         self.serve = serve
+        self.txn_handle = None  # open \txn begin transaction, if any
 
     # -- I/O helpers ---------------------------------------------------------
 
@@ -135,13 +143,25 @@ class Shell:
             self.say(f"unknown instance {argument!r}; "
                      f"options: {', '.join(sorted(_LOADERS))}")
             return
+        if self.txn_handle is not None:
+            self.say("an open transaction holds the old instance; "
+                     "\\txn commit or \\txn rollback first")
+            return
         factory, description = loader
         catalog = factory(buffer_pages=self.db.buffer.capacity)
-        # Rebind the session database to the loaded catalog.
+        # Rebind the session database to the loaded catalog — including
+        # the transaction manager and the plan cache's change hook,
+        # which would otherwise keep watching the abandoned catalog.
+        from repro.txn import TransactionManager, WriteAheadLog
+
         self.db.catalog = catalog
         self.db.buffer = catalog.buffer
         self.db.disk = catalog.buffer.disk
         self.db.engine.catalog = catalog
+        self.db.wal = WriteAheadLog(None)
+        self.db.txn = TransactionManager(catalog, self.db.wal)
+        self.db.plan_cache.clear()
+        self.db.plan_cache.attach(catalog)
         self.say(f"loaded {description}")
         self.say(f"tables: {', '.join(catalog.table_names())}")
 
@@ -226,14 +246,73 @@ class Shell:
     def _cmd_cache(self, _argument: str) -> None:
         self.say(self.db.cache_stats().format())
 
+    def _cmd_txn(self, argument: str) -> None:
+        action = argument.strip().lower()
+        if not action:
+            self.say(self.db.txn_stats())
+            if self.txn_handle is not None:
+                self.say(
+                    f"open transaction: txid {self.txn_handle.txid} "
+                    f"({self.txn_handle.state})"
+                )
+            return
+        if action == "begin":
+            if self.txn_handle is not None:
+                self.say(
+                    f"transaction {self.txn_handle.txid} already open; "
+                    "\\txn commit or \\txn rollback first"
+                )
+                return
+            self.txn_handle = self.db.begin()
+            self.say(
+                f"transaction {self.txn_handle.txid} open: INSERTs "
+                "buffer until \\txn commit, SELECTs read your writes"
+            )
+            return
+        if action in ("commit", "rollback"):
+            if self.txn_handle is None:
+                self.say("no open transaction; \\txn begin starts one")
+                return
+            txn, self.txn_handle = self.txn_handle, None
+            try:
+                getattr(txn, action)()
+            except ReproError as error:
+                self.say(f"error: {error}")
+                return
+            if action == "commit":
+                self.say(f"transaction {txn.txid} committed")
+            else:
+                self.say(f"transaction {txn.txid} rolled back")
+            return
+        self.say("usage: \\txn [begin | commit | rollback]")
+
     # -- statements ------------------------------------------------------------
 
     def _execute(self, sql: str):
-        """Run one statement, via the plan cache in serve mode."""
-        if self.serve:
-            from repro.sql.ast import Select
-            from repro.sql.statements import parse_statement
+        """Run one statement, via the plan cache in serve mode.
 
+        While a ``\\txn begin`` transaction is open, INSERTs buffer in
+        it and SELECTs run against its read-your-writes snapshot; DDL
+        is rejected until the transaction closes.
+        """
+        from repro.sql.ast import Select
+        from repro.sql.statements import InsertValues, parse_statement
+
+        if self.txn_handle is not None:
+            statement = parse_statement(sql)
+            if isinstance(statement, Select):
+                return self.txn_handle.query(sql, method=self.method)
+            if isinstance(statement, InsertValues):
+                count = self.txn_handle.insert(
+                    statement.table, statement.rows
+                )
+                return (
+                    f"buffered {count} row(s) in transaction "
+                    f"{self.txn_handle.txid} (\\txn commit publishes)"
+                )
+            return "DDL inside an open transaction is not supported; " \
+                   "\\txn commit or \\txn rollback first"
+        if self.serve:
             if isinstance(parse_statement(sql), Select):
                 return self.db.execute_cached(sql, method=self.method).result
         return self.db.execute(sql, method=self.method)

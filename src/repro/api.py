@@ -71,6 +71,10 @@ class Database:
         parallel_threshold: minimum input row count before an operator
             goes parallel (default 2048); smaller inputs run serial
             even when ``parallelism > 1``.
+        wal_path: file path for the write-ahead log.  Default None
+            keeps the log in memory (same format, no files); pass a
+            path to make commits durable and recoverable via
+            :func:`repro.txn.recover`.
     """
 
     def __init__(
@@ -85,12 +89,16 @@ class Database:
         engine: str = "row",
         parallelism: int = 1,
         parallel_threshold: int | None = None,
+        wal_path: str | None = None,
     ) -> None:
         from repro.serve.cache import PlanCache
+        from repro.txn import TransactionManager, WriteAheadLog
 
         self.disk = DiskManager(io_delay=io_delay)
         self.buffer = BufferPool(self.disk, capacity=buffer_pages)
         self.catalog = Catalog(self.buffer)
+        self.wal = WriteAheadLog(wal_path)
+        self.txn = TransactionManager(self.catalog, self.wal)
         self.plan_cache = PlanCache(capacity=plan_cache_size)
         self.plan_cache.attach(self.catalog)
         self.engine = Engine(
@@ -138,15 +146,47 @@ class Database:
         )
         with self.catalog.write_lock():
             self.catalog.create_table(table_schema, rows_per_page=rows_per_page)
+        self.txn.log_schema(
+            "create_table",
+            table=table_schema.name,
+            columns=[[c.name, c.ctype.name.lower()] for c in built],
+            primary_key=[key.upper() for key in primary_key],
+            rows_per_page=rows_per_page,
+        )
 
     def drop_table(self, name: str) -> None:
         with self.catalog.write_lock():
             self.catalog.drop_table(name.upper())
+        self.txn.log_schema("drop_table", table=name.upper())
 
     def insert(self, table: str, rows: Iterable[tuple]) -> int:
-        """Insert rows; returns the number inserted."""
-        with self.catalog.write_lock():
-            return self.catalog.insert(table.upper(), rows)
+        """Insert rows atomically; returns the number inserted.
+
+        Runs as an autocommit transaction: the rows are WAL-logged,
+        become visible to readers in one atomic snapshot publication at
+        commit, and a failure part-way (validation or crash) leaves the
+        table untouched.  Concurrent reads are never blocked — they
+        keep scanning their pinned snapshots.
+        """
+        txn = self.txn.begin(self)
+        try:
+            count = txn.insert(table, rows)
+        except Exception:
+            txn.rollback()
+            raise
+        txn.commit()
+        return count
+
+    def begin(self):
+        """Start an explicit transaction (see :class:`repro.txn.Transaction`).
+
+        Usable as a context manager::
+
+            with db.begin() as txn:
+                txn.insert("PARTS", [(99, 5)])
+                txn.query("SELECT ...")   # sees own writes, isolated
+        """
+        return self.txn.begin(self)
 
     def tables(self) -> list[str]:
         return self.catalog.table_names()
@@ -160,6 +200,9 @@ class Database:
         """
         with self.catalog.write_lock():
             self.catalog.create_index(table.upper(), column.upper())
+        self.txn.log_schema(
+            "create_index", table=table.upper(), column=column.upper()
+        )
 
     def analyze(self, table: str | None = None) -> None:
         """Collect optimizer statistics (ANALYZE), one table or all.
@@ -170,7 +213,7 @@ class Database:
         """
         from repro.catalog.statistics import analyze_all, analyze_table
 
-        with self.catalog.write_lock():
+        with self.catalog.write_lock(), self.catalog.snapshots.pinned():
             if table is None:
                 analyze_all(self.catalog, parallelism=self.engine.parallelism)
             else:
@@ -257,6 +300,10 @@ class Database:
     def cache_stats(self):
         """Hit/miss/invalidation/eviction counters of the plan cache."""
         return self.plan_cache.stats()
+
+    def txn_stats(self) -> str:
+        """One-paragraph transaction/WAL status (commits, versions, log)."""
+        return self.txn.describe()
 
     # -- statistics ----------------------------------------------------------
 

@@ -1,0 +1,193 @@
+"""Crash-recovery benchmark: WAL replay time vs committed history size.
+
+For each history size the benchmark drives a live database through a
+transactional write workload (multi-table batches, a fraction aborted),
+then measures two recovery scenarios:
+
+* **clean** — replay the full log, as after an orderly shutdown;
+* **torn**  — truncate the log mid-way through its final commit record
+  (the worst crash point: a whole transaction's inserts are durable
+  but its commit mark is not) and replay the committed prefix.
+
+Every recovered state is verified row-for-row against the expected
+committed rows before its timing is reported, so the benchmark cannot
+time an incorrect replay.  Results merge into ``BENCH_PR8.json``
+alongside the mixed-throughput records
+(``bench_throughput.py --mix 90/10``):
+
+    PYTHONPATH=src python benchmarks/bench_txn.py
+    PYTHONPATH=src python benchmarks/bench_txn.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.api import Database
+from repro.txn import recover
+from repro.txn.wal import decode_records
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR8.json"
+
+#: Committed-row sweep sizes (rows across both tables).
+SIZES = (200, 1000, 4000)
+SMOKE_SIZES = (100, 400)
+BATCH = 20
+ABORT_EVERY = 5  # every 5th transaction rolls back
+
+_DATES = ["1979-12-30", "1985-01-15"]
+
+
+def build_history(path: pathlib.Path, target_rows: int) -> dict[str, int]:
+    """Write ``target_rows`` committed rows through transactions.
+
+    Returns the expected committed row count per table (aborted
+    batches excluded).
+    """
+    db = Database(buffer_pages=32, wal_path=path)
+    db.create_table("PARTS", ["PNUM", "QOH"])
+    db.create_table("SUPPLY", ["PNUM", "QUAN", ("SHIPDATE", "text")])
+    committed = {"PARTS": 0, "SUPPLY": 0}
+    pnum = 1
+    txn_index = 0
+    while committed["PARTS"] + committed["SUPPLY"] < target_rows:
+        txn_index += 1
+        parts = [(pnum + i, (pnum + i) % 7) for i in range(BATCH // 2)]
+        supply = [
+            (pnum + i, 1 + i % 4, _DATES[i % 2]) for i in range(BATCH // 2)
+        ]
+        pnum += BATCH // 2
+        txn = db.begin()
+        txn.insert("PARTS", parts)
+        txn.insert("SUPPLY", supply)
+        if txn_index % ABORT_EVERY == 0:
+            txn.rollback()
+        else:
+            txn.commit()
+            committed["PARTS"] += len(parts)
+            committed["SUPPLY"] += len(supply)
+    return committed
+
+
+def _verify(db: Database, expected: dict[str, int]) -> int:
+    verified = 0
+    for table, count in expected.items():
+        got = db.catalog.heap_of(table).num_rows
+        if got != count:
+            raise AssertionError(
+                f"recovery verification failed: {table} has {got} rows, "
+                f"expected {count}"
+            )
+        verified += count
+    return verified
+
+
+def measure(sizes: tuple[int, ...]) -> list[dict]:
+    records = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for size in sizes:
+            path = pathlib.Path(tmp) / f"history_{size}.wal"
+            expected = build_history(path, size)
+            data = path.read_bytes()
+            wal_records, valid = decode_records(data)
+            assert valid == len(data)
+
+            start = time.perf_counter()
+            recovered = recover(path, buffer_pages=32)
+            clean_ms = (time.perf_counter() - start) * 1000
+            verified = _verify(recovered, expected)
+
+            # Torn tail: cut into the final commit record, so its
+            # transaction must vanish on replay.
+            last_commit = max(
+                r.lsn for r in wal_records if r.type == "commit"
+            )
+            torn_path = pathlib.Path(tmp) / f"torn_{size}.wal"
+            torn_path.write_bytes(data[: last_commit + 4])
+            prefix, _ = decode_records(data[: last_commit + 4])
+            still_committed = {
+                r.txid for r in prefix if r.type == "commit"
+            }
+            torn_expected = {"PARTS": 0, "SUPPLY": 0}
+            for record in prefix:
+                if record.type == "insert" and record.txid in still_committed:
+                    torn_expected[record.payload["table"]] += len(
+                        record.payload["rows"]
+                    )
+            start = time.perf_counter()
+            torn_db = recover(torn_path, buffer_pages=32)
+            torn_ms = (time.perf_counter() - start) * 1000
+            torn_verified = _verify(torn_db, torn_expected)
+
+            record = {
+                "workload": "crash-recovery",
+                "op": "recovery",
+                "rows": verified,
+                "wal_bytes": len(data),
+                "wal_records": len(wal_records),
+                "recover_ms": round(clean_ms, 2),
+                "replay_rows_per_s": round(verified / (clean_ms / 1000), 1),
+                "torn_recover_ms": round(torn_ms, 2),
+                "torn_rows": torn_verified,
+            }
+            records.append(record)
+            print(
+                f"recovery[{verified} rows, {len(data)} wal bytes]: "
+                f"clean {record['recover_ms']} ms "
+                f"({record['replay_rows_per_s']} rows/s), "
+                f"torn-tail {record['torn_recover_ms']} ms "
+                f"({torn_verified} rows survive)"
+            )
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_txn.py",
+        description="WAL crash-recovery timing sweep (verified replays).",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"result file to merge into (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced sizes; merge into the .smoke.json sidecar",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else SIZES
+    try:
+        records = measure(sizes)
+    except AssertionError as error:
+        print(f"FAIL {error}", file=sys.stderr)
+        return 1
+
+    output = (
+        args.output.with_suffix(".smoke.json") if args.smoke
+        else args.output
+    )
+    payload = records
+    if output.exists():
+        # The mixed-throughput leg writes the same file; keep its
+        # records, replace only previous recovery sweeps.
+        try:
+            existing = json.loads(output.read_text())
+            payload = [
+                r for r in existing if r.get("op") != "recovery"
+            ] + records
+        except (ValueError, OSError):
+            pass
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[{len(records)} recovery records merged into {output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -115,6 +115,10 @@ SCALING_SPEC = PartsSupplySpec(
 SCALING_IO_DELAY = 0.0003
 THREAD_COUNTS = (1, 4, 8)
 
+#: Output for the mixed read/write legs (``--mix R/W``); ``--smoke``
+#: writes a ``.smoke.json`` sidecar instead so CI can upload both.
+MIXED_OUTPUT = REPO_ROOT / "BENCH_PR8.json"
+
 
 def _percentile(latencies: list[float], fraction: float) -> float:
     ordered = sorted(latencies)
@@ -246,6 +250,108 @@ def measure_scaling(workload: dict, calls_per_thread: int) -> list[dict]:
     return records
 
 
+def _build_mixed_database(spec):
+    """A live Database loaded with the generator's PARTS/SUPPLY rows.
+
+    The generator builds a bare catalog; the mixed legs need the full
+    transactional stack (WAL, MVCC snapshots, autocommit), so the rows
+    are re-inserted through :class:`~repro.api.Database`.  The I/O
+    delay is switched on only after loading.
+    """
+    from repro.api import Database
+
+    source = build_parts_supply(spec)
+    db = Database(buffer_pages=spec.buffer_pages, dedupe_inner=False)
+    db.create_table("PARTS", ["PNUM", "QOH"], primary_key=["PNUM"])
+    db.create_table("SUPPLY", ["PNUM", "QUAN", ("SHIPDATE", "date")])
+    db.insert("PARTS", list(source.heap_of("PARTS").scan()))
+    db.insert("SUPPLY", list(source.heap_of("SUPPLY").scan()))
+    db.disk.io_delay = SCALING_IO_DELAY
+    return db
+
+
+def measure_mixed(
+    mix: tuple[int, int],
+    calls_per_thread: int,
+    thread_counts: tuple[int, ...] = THREAD_COUNTS,
+) -> list[dict]:
+    """Mixed read/write throughput of the type-JA cached path.
+
+    Each worker interleaves cached reads with autocommitted SUPPLY
+    inserts in the requested ratio (``--mix 90/10``: 9 reads per
+    write).  The writes are *neutral*: the inserted PNUMs do not occur
+    in PARTS, so the type-JA answer never changes and every read is
+    asserted equal to the pre-write reference — the benchmark measures
+    the snapshot/plan-cache machinery under write pressure without
+    ever timing a wrong answer.  Commits publish new snapshots and
+    flush memoized temps, so reads pay the real invalidation costs.
+    """
+    import math
+
+    read_share, write_share = mix
+    gcd = math.gcd(read_share, write_share)
+    period = (read_share + write_share) // gcd
+    writes_per_period = write_share // gcd
+    name = f"mixed-{read_share}/{write_share}"
+    query = WORKLOADS[2]["query"]  # type-JA: temps + memo, I/O-heavy
+
+    records = []
+    for threads in thread_counts:
+        db = _build_mixed_database(SCALING_SPEC)
+        reference = db.execute_cached(query, method="transform").result.rows
+        failures: list[BaseException] = []
+        writes_done = [0] * threads
+
+        def worker(worker_id: int) -> None:
+            try:
+                base = 100_000 + worker_id * 10_000
+                for call in range(calls_per_thread):
+                    if call % period < writes_per_period:
+                        dangling = base + call
+                        db.insert(
+                            "SUPPLY", [(dangling, 1, "1985-01-15")]
+                        )
+                        writes_done[worker_id] += 1
+                    else:
+                        report = db.execute_cached(
+                            query, method="transform"
+                        )
+                        _check_rows(
+                            name, "mixed", report.result.rows, reference
+                        )
+            except BaseException as error:  # surface in the main thread
+                failures.append(error)
+
+        pool = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(threads)
+        ]
+        start = time.perf_counter()
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if failures:
+            raise failures[0]
+        total = threads * calls_per_thread
+        writes = sum(writes_done)
+        records.append(
+            {
+                "workload": name,
+                "op": "mixed",
+                "threads": threads,
+                "iters": total,
+                "reads": total - writes,
+                "writes": writes,
+                "commits": db.txn.commits,
+                "qps": round(total / elapsed, 1),
+                "io_delay": SCALING_IO_DELAY,
+            }
+        )
+    return records
+
+
 def _qps(records: list[dict], workload: str, op: str, threads: int) -> float:
     for record in records:
         if (
@@ -280,7 +386,18 @@ def main(argv: list[str] | None = None) -> int:
         help="reduced iteration counts, no result file; fail unless the "
         "cached path is >= 1.5x cold on every workload",
     )
+    parser.add_argument(
+        "--mix", default=None, metavar="R/W",
+        help="run the mixed read/write legs instead (e.g. 90/10): "
+        "cached type-JA reads interleaved with autocommitted inserts "
+        f"at 1/4/8 threads, written to {MIXED_OUTPUT.name}; with "
+        "--smoke runs 1/4 threads and writes a .smoke.json sidecar; "
+        "fails unless 4 threads beat 1",
+    )
     args = parser.parse_args(argv)
+
+    if args.mix is not None:
+        return _main_mixed(args)
 
     iters = 15 if args.smoke else args.iters
     calls = 3 if args.smoke else args.calls_per_thread
@@ -339,6 +456,65 @@ def main(argv: list[str] | None = None) -> int:
         for line in failures:
             print(f"WARN {line}", file=sys.stderr)
     return 0
+
+
+def _main_mixed(args) -> int:
+    """The ``--mix R/W`` entry point: mixed legs + scaling gate."""
+    try:
+        read_share, write_share = (
+            int(part) for part in args.mix.split("/")
+        )
+    except ValueError:
+        print(f"--mix must look like 90/10, got {args.mix!r}", file=sys.stderr)
+        return 2
+    if read_share <= 0 or write_share <= 0:
+        print("--mix shares must both be positive", file=sys.stderr)
+        return 2
+
+    thread_counts = (1, 4) if args.smoke else THREAD_COUNTS
+    calls = 20 if args.smoke else max(args.calls_per_thread, 40)
+    records = measure_mixed(
+        (read_share, write_share), calls, thread_counts
+    )
+    for record in records:
+        print(
+            f"{record['workload']} [cached JA reads + autocommit writes, "
+            f"io_delay={SCALING_IO_DELAY}]: {record['threads']} thread(s) "
+            f"-> {record['qps']} qps "
+            f"({record['reads']} reads / {record['writes']} writes)"
+        )
+
+    one = next(r["qps"] for r in records if r["threads"] == 1)
+    four = next(r["qps"] for r in records if r["threads"] == 4)
+    failures = []
+    if four <= one:
+        failures.append(
+            f"mixed scaling: 4 threads ({four} qps) not faster than "
+            f"1 thread ({one} qps)"
+        )
+
+    output = (
+        MIXED_OUTPUT.with_suffix(".smoke.json") if args.smoke
+        else MIXED_OUTPUT
+    )
+    payload = records
+    if output.exists():
+        # bench_txn.py merges its recovery records into the same file;
+        # keep them, replace only the mixed records.
+        try:
+            existing = json.loads(output.read_text())
+            payload = [
+                r for r in existing if r.get("op") != "mixed"
+            ] + records
+        except (ValueError, OSError):
+            pass
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[{len(records)} mixed records written to {output}]")
+
+    for line in failures:
+        print(f"FAIL {line}", file=sys.stderr)
+    print("mixed throughput " + ("FAILED" if failures else "passed"))
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -18,6 +18,28 @@ from repro.errors import CatalogError
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import HeapFile
 from repro.storage.locks import RWLock
+from repro.txn.mvcc import SnapshotManager
+
+#: Change events that alter what plans are *valid*: shapes, access
+#: paths, or the statistics the cost-based planner chose on.  These
+#: purge the plan cache outright.
+SCHEMA_EVENTS = frozenset(
+    {"create_table", "drop_table", "create_index", "analyze"}
+)
+
+#: Change events that alter only which *rows* exist.  Cached plans
+#: survive these — they re-read the base tables on every replay — only
+#: their memoized temp materializations go stale.
+DATA_EVENTS = frozenset({"insert"})
+
+
+def event_class(event: str) -> str:
+    """Classify a change event: ``"schema"`` or ``"data"``."""
+    if event in SCHEMA_EVENTS:
+        return "schema"
+    if event in DATA_EVENTS:
+        return "data"
+    raise CatalogError(f"unknown catalog change event {event!r}")
 
 
 @dataclass
@@ -45,12 +67,19 @@ class Catalog:
         self.statistics: dict[str, "object"] = {}
         #: (table, column) → IsamIndex, via create_index().
         self.indexes: dict[tuple[str, str], "object"] = {}
-        #: Monotone counter bumped by every plan-relevant change: DDL
-        #: (CREATE/DROP TABLE, CREATE INDEX), inserts into non-temp
-        #: tables, and statistics updates.  The plan cache keys on it,
-        #: so a stale cached plan can never match after a change.
-        self.version = 0
+        #: Monotone counter bumped by plan-*invalidating* changes: DDL
+        #: (CREATE/DROP TABLE, CREATE INDEX) and statistics updates.
+        #: The plan cache keys on it, so a structurally stale cached
+        #: plan can never match after a schema change.
+        self.schema_version = 0
+        #: Monotone counter bumped by row-only changes (inserts into
+        #: non-temp tables).  Cached plans stay valid across data
+        #: bumps; only their memoized temp tables are flushed.
+        self.data_version = 0
         self._change_hooks: list[Callable[[str, str], None]] = []
+        #: MVCC commit timestamps + per-table row horizons; readers pin
+        #: the current snapshot so scans see one committed state.
+        self.snapshots = SnapshotManager()
         #: Reader-writer lock for the serving layer: worker threads
         #: executing cached plans hold the (re-entrant) read side; DDL
         #: and inserts take the write side.
@@ -67,9 +96,22 @@ class Catalog:
         """
         self._change_hooks.append(hook)
 
+    @property
+    def version(self) -> int:
+        """The combined change counter (schema + data).
+
+        Kept for callers that only need "did *anything* change" — it
+        advances exactly once per :meth:`bump_version`, as the single
+        pre-split counter did.
+        """
+        return self.schema_version + self.data_version
+
     def bump_version(self, event: str, table: str) -> None:
-        """Advance the schema/stats version and notify hooks."""
-        self.version += 1
+        """Advance the version for ``event``'s class and notify hooks."""
+        if event_class(event) == "schema":
+            self.schema_version += 1
+        else:
+            self.data_version += 1
         for hook in self._change_hooks:
             hook(event, table)
 
@@ -98,6 +140,10 @@ class Catalog:
         entry = TableEntry(schema=table_schema, heap=heap, is_temp=is_temp)
         self._tables[name] = entry
         if not is_temp:
+            # Base tables participate in snapshot isolation; temps are
+            # per-query scratch space and always read unrestricted.
+            heap.versioned = True
+            self.snapshots.register_table(name, rows=0)
             self.bump_version("create_table", name)
         return entry
 
@@ -110,6 +156,7 @@ class Catalog:
         del self._tables[name]
         self.statistics.pop(name, None)
         if not entry.is_temp:
+            self.snapshots.forget_table(name)
             self.bump_version("drop_table", name)
 
     def create_index(self, table: str, column: str):
@@ -196,8 +243,11 @@ class Catalog:
                 if table == name:
                     index.build()
             if not entry.is_temp:
-                # Inserts change cardinalities (and hence plan costs),
-                # so they invalidate cached plans like DDL does.
+                # Direct catalog inserts are autocommit writes: publish
+                # the new horizon so pinned readers admitted from now
+                # on see the rows, then bump the data version (cached
+                # plans survive; their temp memos are flushed).
+                self.snapshots.publish({name: entry.heap.num_rows})
                 self.bump_version("insert", name)
         return count
 

@@ -72,6 +72,9 @@ class TableStatistics:
     num_rows: int
     num_pages: int
     columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+    #: catalog.data_version of the snapshot the ANALYZE scan observed —
+    #: the statistics travel with the data state they describe.
+    data_version: int = 0
 
 
 class _Partial:
@@ -128,7 +131,10 @@ def analyze_table(
     width = len(column_names)
     heap = entry.heap
 
-    nparts = max(1, min(parallelism, heap.num_pages))
+    # Scan under the active snapshot (if any): the counts below must
+    # describe the same row set the scans observed, not whatever the
+    # heap tail holds by the time the scan finishes.
+    nparts = max(1, min(parallelism, heap.visible_pages()))
     if nparts > 1:
         from repro.engine.exchange import in_worker, run_tasks
 
@@ -156,8 +162,9 @@ def analyze_table(
             total.observe(row)
 
     stats = TableStatistics(
-        num_rows=heap.num_rows,
-        num_pages=heap.num_pages,
+        num_rows=heap.visible_rows(),
+        num_pages=heap.visible_pages(),
+        data_version=catalog.data_version,
         columns={
             column: ColumnStatistics(
                 distinct=len(total.values[index]),

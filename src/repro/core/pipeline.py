@@ -218,9 +218,10 @@ class Engine:
         normalized, extracted = parameterize(select)
         values = vector + extracted
         key = (fingerprint(normalized), engine_config(self, method))
-        version = self.catalog.version
+        schema_version = self.catalog.schema_version
+        data_version = self.catalog.data_version
 
-        plan = cache.lookup(key, version)
+        plan = cache.lookup(key, schema_version, data_version)
         if plan is None:
             try:
                 plan = build_plan(self, normalized, method, key[0])
@@ -229,7 +230,7 @@ class Engine:
                 # Custom plan: the literal values shape the plan, so
                 # they join the cache key and are baked into the tree.
                 custom_key = key + (values,)
-                plan = cache.lookup(custom_key, version)
+                plan = cache.lookup(custom_key, schema_version, data_version)
                 if plan is None:
                     literal = substitute_params(normalized, values)
                     plan = build_plan(self, literal, method, key[0])
@@ -425,11 +426,14 @@ class Engine:
 
     def _run_nested_iteration(self, select: Select) -> RunReport:
         before = self.catalog.buffer.stats()
-        result = NestedIterationExecutor(
-            self.catalog,
-            parallelism=self.parallelism,
-            parallel_threshold=self.parallel_threshold,
-        ).execute(select)
+        # Pin an MVCC snapshot (or reuse the enclosing transaction's)
+        # so every scan in the run sees one committed state.
+        with self.catalog.snapshots.pinned():
+            result = NestedIterationExecutor(
+                self.catalog,
+                parallelism=self.parallelism,
+                parallel_threshold=self.parallel_threshold,
+            ).execute(select)
         io = self.catalog.buffer.stats() - before
         return RunReport(result=result, io=io, method="nested_iteration")
 
@@ -437,6 +441,10 @@ class Engine:
         """Let the section-7 cost model pick the strategy (SEL 79 style)."""
         from repro.optimizer.planner import Planner
 
+        with self.catalog.snapshots.pinned():
+            return self._run_cost_based_pinned(select, Planner)
+
+    def _run_cost_based_pinned(self, select: Select, Planner) -> RunReport:
         choice = Planner(self.catalog).choose(select)
         if choice.method == "nested_iteration":
             report = self._run_nested_iteration(select)
@@ -488,6 +496,13 @@ class Engine:
 
     def _run_transform(self, select: Select) -> RunReport:
         before = self.catalog.buffer.stats()
+        # Pin an MVCC snapshot (or reuse the enclosing transaction's):
+        # the temp builds and the final query then all read the same
+        # committed state, even while writers commit concurrently.
+        with self.catalog.snapshots.pinned():
+            return self._run_transform_pinned(select, before)
+
+    def _run_transform_pinned(self, select: Select, before) -> RunReport:
         try:
             rewritten = self._prepare(select)
             transform = nest_g(

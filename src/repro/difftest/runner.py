@@ -47,6 +47,11 @@ rather than filtered after the fact: the grammar generates none of
 * mixed-type comparisons (an error here, type-ordered in SQLite).
 
 Everything the grammar does generate must agree exactly.
+
+``--mixed STEPS`` appends a transactional leg: interleaved commits,
+aborts, and cached-plan reads against a live :class:`~repro.api.Database`
+checked step-by-step against a SQLite shadow fed only the committed
+batches (:mod:`repro.difftest.mixed`).
 """
 
 from __future__ import annotations
@@ -329,6 +334,14 @@ def main(argv: list[str] | None = None) -> int:
         "engine legs; degrees > 1 run with parallel_threshold=0 "
         "(default: 1)",
     )
+    parser.add_argument(
+        "--mixed",
+        type=int,
+        default=0,
+        metavar="STEPS",
+        help="also run STEPS interleaved transactional write/read steps "
+        "against a SQLite shadow (see repro.difftest.mixed; default 0)",
+    )
     args = parser.parse_args(argv)
 
     join_methods = tuple(
@@ -365,4 +378,13 @@ def main(argv: list[str] | None = None) -> int:
     for outcome in report.failures:
         print(format_outcome(outcome))
     print(report.summary())
-    return 0 if report.clean else 1
+    clean = report.clean
+    if args.mixed > 0:
+        from repro.difftest.mixed import run_mixed
+
+        mixed_report = run_mixed(steps=args.mixed, seed=args.seed)
+        for line in mixed_report.failures:
+            print(f"--- MIXED DIVERGENCE ---\n{line}")
+        print(mixed_report.summary())
+        clean = clean and mixed_report.clean
+    return 0 if clean else 1

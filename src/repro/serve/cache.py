@@ -2,12 +2,23 @@
 
 Keys are ``(fingerprint, engine_config)`` — the normalized SQL text of
 the literal-parameterized tree plus every engine knob that affects plan
-shape.  The catalog's schema/stats version is *not* part of the key;
-instead each entry records the version it was built under and a lookup
-under any other version is treated as an invalidation (the entry is
-dropped and rebuilt).  On top of that, catalog change hooks purge
-eagerly, so DDL frees the memory immediately rather than leaving stale
-entries to age out of the LRU.
+shape.  Versions are *not* part of the key; each entry records the
+schema version it was built under and a lookup under any other schema
+version is treated as an invalidation (the entry is dropped and
+rebuilt).
+
+Invalidation is event-class aware (see
+:func:`repro.catalog.catalog.event_class`):
+
+* **schema** events (DDL, ANALYZE) change what plans are *valid* —
+  the cache purges eagerly, freeing memoized temps immediately rather
+  than leaving stale entries to age out of the LRU;
+* **data** events (inserts) change only which rows exist — cached
+  plans re-read base tables on every replay, so the entries survive;
+  only their memoized temp materializations are flushed (they were
+  built from the pre-insert data).  A hit on a plan that outlived a
+  data change is counted as a *snapshot-pin hit*: the replay pins the
+  current MVCC snapshot instead of re-planning.
 
 All operations are lock-protected; worker threads share one cache.
 """
@@ -18,7 +29,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.catalog.catalog import Catalog
+from repro.catalog.catalog import Catalog, event_class
 from repro.serve.plan import CachedPlan
 
 #: Default maximum number of cached plans.
@@ -35,6 +46,11 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    #: Hits on entries built before the latest data change — served by
+    #: pinning the current snapshot rather than re-planning.
+    snapshot_pin_hits: int = 0
+    #: Memoized temp materializations flushed by data events.
+    memo_flushes: int = 0
 
     def format(self) -> str:
         total = self.hits + self.misses
@@ -44,7 +60,9 @@ class CacheStats:
             f"{self.hits} hit(s), {self.misses} miss(es) "
             f"({rate:.1f}% hit rate), "
             f"{self.invalidations} invalidation(s), "
-            f"{self.evictions} eviction(s)"
+            f"{self.evictions} eviction(s), "
+            f"{self.snapshot_pin_hits} snapshot-pin hit(s), "
+            f"{self.memo_flushes} memo flush(es)"
         )
 
 
@@ -61,14 +79,22 @@ class PlanCache:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        self.snapshot_pin_hits = 0
+        self.memo_flushes = 0
 
     # -- wiring ------------------------------------------------------------
 
     def attach(self, catalog: Catalog) -> None:
-        """Purge this cache on every plan-relevant catalog change."""
+        """Invalidate on schema changes; flush temp memos on data changes."""
         catalog.add_change_hook(self._on_catalog_change)
 
     def _on_catalog_change(self, event: str, table: str) -> None:
+        if event_class(event) == "data":
+            with self._lock:
+                for plan in self._entries.values():
+                    if plan.data_changed():
+                        self.memo_flushes += 1
+            return
         with self._lock:
             if self._entries:
                 self.invalidations += len(self._entries)
@@ -78,18 +104,22 @@ class PlanCache:
 
     # -- access ------------------------------------------------------------
 
-    def lookup(self, key: tuple, version: int) -> CachedPlan | None:
-        """The cached plan for ``key`` valid at ``version``, or None.
+    def lookup(
+        self, key: tuple, schema_version: int, data_version: int = -1
+    ) -> CachedPlan | None:
+        """The cached plan for ``key`` valid at ``schema_version``, or None.
 
-        A version mismatch counts as an invalidation *and* a miss: the
-        stale entry is dropped and the caller rebuilds.
+        A schema-version mismatch counts as an invalidation *and* a
+        miss: the stale entry is dropped and the caller rebuilds.  A
+        *data*-version difference is a hit — the plan survives inserts
+        by construction — recorded in ``snapshot_pin_hits``.
         """
         with self._lock:
             plan = self._entries.get(key)
             if plan is None:
                 self.misses += 1
                 return None
-            if plan.catalog_version != version:
+            if plan.catalog_version != schema_version:
                 del self._entries[key]
                 plan.release()
                 self.invalidations += 1
@@ -97,6 +127,8 @@ class PlanCache:
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            if data_version >= 0 and plan.data_version != data_version:
+                self.snapshot_pin_hits += 1
             return plan
 
     def store(self, key: tuple, plan: CachedPlan) -> None:
@@ -129,6 +161,8 @@ class PlanCache:
                 evictions=self.evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                snapshot_pin_hits=self.snapshot_pin_hits,
+                memo_flushes=self.memo_flushes,
             )
 
     def reset_stats(self) -> None:
@@ -137,3 +171,5 @@ class PlanCache:
             self.misses = 0
             self.invalidations = 0
             self.evictions = 0
+            self.snapshot_pin_hits = 0
+            self.memo_flushes = 0

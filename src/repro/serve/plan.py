@@ -73,8 +73,10 @@ class CachedPlan:
 
     fingerprint: str
     config: tuple
-    #: catalog.version when the plan was built; the cache treats any
-    #: other version as a miss (schema, stats, or data changed).
+    #: catalog.schema_version when the plan was built; the cache treats
+    #: any other schema version as a miss (DDL or stats changed).  Data
+    #: changes (inserts) do NOT invalidate: replays re-read the base
+    #: tables under a pinned snapshot, so the plan stays valid.
     catalog_version: int
     kind: str  # "transform" | "nested_iteration"
     rewritten: Select
@@ -87,6 +89,10 @@ class CachedPlan:
     #: plan time; also part of the cache key.
     parallelism: int = 1
     parallel_threshold: int | None = None
+    #: catalog.data_version at build time.  Purely diagnostic — the
+    #: cache counts a hit at any other data version as a
+    #: "snapshot-pin hit" (the plan outlived an insert).
+    data_version: int = 0
     transform: GeneralTransform | None = None
     final_query: Select | None = None
     strip: int = 0
@@ -98,10 +104,14 @@ class CachedPlan:
     _temp_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
-    #: sub-vector -> [(temp name, heap, column names), ...]
+    #: (snapshot data version, sub-vector)
+    #:     -> [(temp name, heap, column names), ...]
     _temp_memo: dict = field(default_factory=dict, repr=False, compare=False)
     _active: int = 0
     _released: bool = False
+    #: A data event arrived while replays were in flight; the last one
+    #: out flushes the memo (same deferral discipline as release()).
+    _memo_stale: bool = False
 
     @property
     def param_count(self) -> int:
@@ -116,7 +126,7 @@ class CachedPlan:
     def _release_slot(self) -> None:
         with self._temp_lock:
             self._active -= 1
-            if self._released and self._active == 0:
+            if self._active == 0 and (self._released or self._memo_stale):
                 self._truncate_memo_locked()
 
     def release(self) -> None:
@@ -131,14 +141,38 @@ class CachedPlan:
             if self._active == 0:
                 self._truncate_memo_locked()
 
+    def data_changed(self) -> bool:
+        """Flush memoized temps after a committed insert.
+
+        The plan itself stays valid — replays re-read the base tables —
+        but memoized temp materializations describe the pre-insert
+        data.  (Memo keys carry the snapshot data version, so stale
+        entries could never be *reused*; flushing reclaims their pages
+        eagerly.)  Deferred while replays are in flight, like
+        :meth:`release`.  Returns True when there was anything to flush.
+        """
+        with self._temp_lock:
+            if not self._temp_memo:
+                return False
+            if self._active == 0:
+                self._truncate_memo_locked()
+            else:
+                self._memo_stale = True
+            return True
+
     def _truncate_memo_locked(self) -> None:
         for temps in self._temp_memo.values():
             for _name, heap, _columns in temps:
                 heap.truncate()
         self._temp_memo.clear()
+        self._memo_stale = False
 
     def describe(self) -> str:
-        lines = [f"kind: {self.kind}", f"version: {self.catalog_version}"]
+        lines = [
+            f"kind: {self.kind}",
+            f"schema version: {self.catalog_version}",
+            f"data version: {self.data_version}",
+        ]
         if self.transform is not None:
             for definition in self.transform.setup:
                 lines.append(f"setup: {definition.describe()}")
@@ -155,7 +189,10 @@ class CachedPlan:
 
         Safe to call from multiple threads concurrently: temps go to a
         per-call session overlay, parameters bind through a context
-        variable, and the whole call holds the catalog read lock.
+        variable, and the whole call holds the catalog read lock.  The
+        execution pins an MVCC snapshot (reusing one already pinned by
+        an enclosing transaction), so every scan in the plan sees one
+        committed state even while writers commit concurrently.
         """
         from repro.engine.params import bound_params
 
@@ -164,7 +201,11 @@ class CachedPlan:
         before = session.buffer.stats()
         self._acquire()
         try:
-            with catalog.read_lock(), bound_params(values):
+            with (
+                catalog.read_lock(),
+                catalog.snapshots.pinned() as snapshot,
+                bound_params(values),
+            ):
                 if self.kind == "nested_iteration":
                     result = NestedIterationExecutor(
                         session,
@@ -178,7 +219,7 @@ class CachedPlan:
                 assert self.transform is not None
                 assert self.final_query is not None
                 try:
-                    steps = self._install_temps(session, values)
+                    steps = self._install_temps(session, values, snapshot)
                     final = SingleLevelExecutor(
                         session, self.join_method, verify=False,
                         engine=self.engine,
@@ -209,26 +250,40 @@ class CachedPlan:
             self._release_slot()
 
     def _install_temps(
-        self, session: SessionCatalog, values: tuple[object, ...]
+        self,
+        session: SessionCatalog,
+        values: tuple[object, ...],
+        snapshot: object = None,
     ) -> list[str]:
         """Make the plan's temp tables visible in ``session``.
 
-        Temp contents depend only on the base data (pinned by the
-        catalog version) and the parameter slots their definitions
-        read, so materialized heaps are memoized per value sub-vector:
-        a hit registers the shared heaps read-only; a miss builds them
-        and donates the heaps to the memo (unless it is full or the
-        plan was released mid-flight).
+        Temp contents depend only on the committed base data (pinned by
+        the active snapshot) and the parameter slots their definitions
+        read, so materialized heaps are memoized per (snapshot data
+        version, value sub-vector): a hit registers the shared heaps
+        read-only; a miss builds them and donates the heaps to the memo
+        (unless it is full or the plan was released mid-flight).
+        Executions under a transaction's read-your-writes overlay
+        bypass the memo entirely — their temps may contain uncommitted
+        rows no other reader must ever see.
         """
+        from repro.txn.mvcc import TransactionSnapshot
+
         assert self.transform is not None
         if not self.transform.setup:
             return []
-        memo_key = tuple(values[i] for i in self.setup_param_indices)
-        with self._temp_lock:
-            shared = self._temp_memo.get(memo_key)
-            if shared is not None:
-                for name, heap, columns in shared:
-                    session.register_shared_temp(name, heap, columns)
+        private = isinstance(snapshot, TransactionSnapshot)
+        memo_key = (
+            getattr(snapshot, "data_version", -1),
+            tuple(values[i] for i in self.setup_param_indices),
+        )
+        shared = None
+        if not private:
+            with self._temp_lock:
+                shared = self._temp_memo.get(memo_key)
+                if shared is not None:
+                    for name, heap, columns in shared:
+                        session.register_shared_temp(name, heap, columns)
         if shared is not None:
             return [f"reused {name}" for name, _heap, _columns in shared]
         steps = []
@@ -246,7 +301,8 @@ class CachedPlan:
             steps.append(f"built {definition.name}")
         with self._temp_lock:
             if (
-                not self._released
+                not private
+                and not self._released
                 and memo_key not in self._temp_memo
                 and len(self._temp_memo) < _TEMP_MEMO_CAP
             ):
@@ -271,7 +327,8 @@ def build_plan(
             f"method {method!r} is re-planned per call and cannot be cached"
         )
     catalog = engine.catalog
-    version = catalog.version
+    version = catalog.schema_version
+    data_version = catalog.data_version
     session = SessionCatalog(catalog)
     # A throwaway engine bound to the session overlay: temps that
     # NEST-G builds to evaluate type-A blocks stay private to this
@@ -301,6 +358,7 @@ def build_plan(
                     fingerprint=fingerprint,
                     config=config,
                     catalog_version=version,
+                    data_version=data_version,
                     kind="nested_iteration",
                     rewritten=rewritten,
                     param_specs=specs,
@@ -359,6 +417,7 @@ def build_plan(
                     fingerprint=fingerprint,
                     config=config,
                     catalog_version=version,
+                    data_version=data_version,
                     kind="transform",
                     rewritten=rewritten,
                     param_specs=specs,
@@ -389,6 +448,7 @@ def build_plan(
                     fingerprint=fingerprint,
                     config=config,
                     catalog_version=version,
+                    data_version=data_version,
                     kind="nested_iteration",
                     rewritten=rewritten,
                     param_specs=specs,

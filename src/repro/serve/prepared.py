@@ -17,9 +17,11 @@ Three modes, chosen automatically at prepare time:
   (see :class:`~repro.serve.plan.NonCacheablePlan`); each execute runs
   the full pipeline in a private session.
 
-Every mode re-checks the catalog's schema/stats version per execute and
-re-plans (re-running verification and lint) when it moved — DDL or
-inserts between executions can never leave a stale plan running.
+Every mode re-checks the catalog's *schema* version per execute and
+re-plans (re-running verification and lint) when it moved — DDL between
+executions can never leave a stale plan running.  Plain inserts bump
+only the data version: the plan survives and its replay pins the
+current MVCC snapshot, so fresh rows appear without re-planning.
 
 Statements are safe to execute from multiple threads concurrently.
 """
@@ -75,7 +77,7 @@ class PreparedStatement:
                 self.engine.exists_count_mode,
                 self.engine.quantifier_mode,
             )
-            self._specs_version = catalog.version
+            self._specs_version = catalog.schema_version
             return derive_param_specs(rewritten, catalog, self.param_count)
 
     def _plan_initial(self) -> str:
@@ -132,7 +134,7 @@ class PreparedStatement:
         """Bind ``values`` and run; returns the full run report."""
         vector = self._vector(values)
         catalog = self.engine.catalog
-        version = catalog.version
+        version = catalog.schema_version
         if self._specs_version != version:
             # Schema/stats moved: re-derive the bind contracts too (a
             # column's type may have changed across drop/recreate).

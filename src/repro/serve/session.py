@@ -49,6 +49,18 @@ class SessionCatalog(Catalog):
         return self.base.version
 
     @property
+    def schema_version(self):  # type: ignore[override]
+        return self.base.schema_version
+
+    @property
+    def data_version(self):  # type: ignore[override]
+        return self.base.data_version
+
+    @property
+    def snapshots(self):  # type: ignore[override]
+        return self.base.snapshots
+
+    @property
     def rwlock(self):  # type: ignore[override]
         return self.base.rwlock
 

@@ -10,12 +10,24 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from repro.storage import visibility
 from repro.storage.buffer import BufferPool
 from repro.storage.page import PAGE_CAPACITY_DEFAULT
 
 
 class HeapFile:
-    """An append-only paged file of tuples."""
+    """An append-only paged file of tuples.
+
+    *Versioned* heaps (base tables under the transaction layer) trim
+    their scans to the active snapshot's row horizon — see
+    :mod:`repro.storage.visibility`.  Because the file is append-only
+    and every page except the tail is filled before a new page is
+    allocated, "the first N rows" always occupies a page-aligned prefix
+    plus at most one partially visible boundary page, so a snapshot
+    scan reads exactly the pages the table occupied at that commit
+    point.  Unversioned heaps (temps, plain single-writer catalogs)
+    behave exactly as before.
+    """
 
     def __init__(
         self,
@@ -30,6 +42,9 @@ class HeapFile:
         self._num_rows = 0
         self._tail_pinned: int | None = None
         self._tail_page = None
+        #: Set by the catalog for non-temp tables: scans consult the
+        #: active MVCC snapshot (if any) for a row-visibility horizon.
+        self.versioned = False
 
     # -- writing ---------------------------------------------------------
 
@@ -123,7 +138,12 @@ class HeapFile:
         self._unpin_tail()
 
     def flush(self) -> None:
-        """Force all of this file's dirty pages to disk."""
+        """Force all of this file's dirty pages to disk.
+
+        The write cursor is released *before* any page is flushed, so
+        even if a flush raises (e.g. a page freed by a concurrent drop)
+        no pinned tail page survives in the buffer pool.
+        """
         self.close_writes()
         for page_id in self.page_ids:
             self.buffer.flush_page(page_id)
@@ -138,12 +158,54 @@ class HeapFile:
         that races the drop may see ``StorageError: no such page`` —
         the documented outcome of scanning a relation while it is
         dropped — never silent corruption.
+
+        Durability-ordering audit (transaction aborts): the pinned
+        write cursor is released *first*, so a truncate racing an
+        abort mid-``append_rows`` cannot leave ``free_page`` to discard
+        a pin this file still believes it holds (a later
+        ``close_writes`` would then unpin a page id that may have been
+        recycled).  ``free_page`` itself drops the frame without
+        writing it back, so no dirty-page accounting outlives the page.
         """
         self.close_writes()
         for page_id in self.page_ids:
             self.buffer.free_page(page_id)
         self.page_ids.clear()
         self._num_rows = 0
+
+    def rollback_to(self, target_rows: int) -> None:
+        """Undo appends past ``target_rows`` (transaction abort).
+
+        The rows being removed are exactly the file's tail — writers
+        are serialized by the transaction manager's commit lock, so an
+        aborting transaction's appends are the most recent rows.  Tail
+        pages emptied by the undo are freed (atomically, like
+        :meth:`truncate`); a partially rolled-back boundary page is
+        trimmed in place and marked dirty.  The write cursor is
+        released first so no pinned or stale-dirty tail page survives
+        an abort mid-``append_rows``.
+        """
+        if target_rows < 0:
+            raise ValueError(f"cannot roll back to {target_rows} rows")
+        self.close_writes()
+        excess = self._num_rows - target_rows
+        while excess > 0 and self.page_ids:
+            page_id = self.page_ids[-1]
+            page = self.buffer.get_page(page_id)
+            if not page.rows:
+                # Empty tail (allocation raced the abort): just free it.
+                self.buffer.free_page(page_id)
+                self.page_ids.pop()
+                continue
+            take = min(len(page.rows), excess)
+            if take == len(page.rows):
+                self.buffer.free_page(page_id)
+                self.page_ids.pop()
+            else:
+                del page.rows[-take:]
+                page.dirty = True
+            self._num_rows -= take
+            excess -= take
 
     def _unpin_tail(self) -> None:
         if self._tail_pinned is not None:
@@ -217,10 +279,21 @@ class HeapFile:
         Reads go through the buffer pool like any other scan; a shard
         reads exactly its own pages, so the union over one partition
         map's shards performs the serial scan's reads, just possibly
-        interleaved across workers.
+        interleaved across workers.  Under a pinned snapshot, pages
+        wholly past the horizon are skipped without I/O and the
+        boundary page is trimmed — exactly what a serial snapshot scan
+        reads, sharded.
         """
+        limit = self._scan_limit()
         for page_index, page_id in shard:
-            yield page_index, list(self.buffer.get_page(page_id).rows)
+            if limit is None:
+                yield page_index, list(self.buffer.get_page(page_id).rows)
+                continue
+            visible = limit - self.rows_before(page_index)
+            if visible <= 0:
+                continue
+            rows = self.buffer.get_page(page_id).rows
+            yield page_index, list(rows[:visible])
 
     # -- reading ---------------------------------------------------------
 
@@ -229,23 +302,78 @@ class HeapFile:
     # pages silently; with the snapshot a racing scan instead fails
     # cleanly on the first freed page it touches.
 
+    def _scan_limit(self) -> int | None:
+        """Row horizon for this scan, or None for the whole file.
+
+        Consults the active MVCC snapshot for versioned heaps.  The
+        horizon is honored even when it equals the current row count:
+        degenerating to the untrimmed path there would let a writer's
+        mid-scan appends leak into a snapshot read (the tail page's
+        row list is live).  The bounded path reads exactly the same
+        pages, so the paper's page-I/O accounting is unaffected.
+        """
+        if not self.versioned:
+            return None
+        return visibility.visible_limit(self.name)
+
+    def visible_rows(self) -> int:
+        """Tuple count under the active snapshot (``num_rows`` if none)."""
+        limit = self._scan_limit()
+        return self._num_rows if limit is None else limit
+
+    def visible_pages(self) -> int:
+        """Page count a snapshot scan reads (``num_pages`` if no snapshot)."""
+        limit = self._scan_limit()
+        if limit is None:
+            return self.num_pages
+        return min(self.num_pages, -(-limit // self.rows_per_page))
+
     def scan(self) -> Iterator[tuple]:
-        """Yield every tuple, reading pages sequentially via the buffer."""
+        """Yield every visible tuple, reading pages sequentially."""
+        limit = self._scan_limit()
+        if limit is None:
+            for page_id in list(self.page_ids):
+                page = self.buffer.get_page(page_id)
+                yield from page.rows
+            return
+        remaining = limit
         for page_id in list(self.page_ids):
-            page = self.buffer.get_page(page_id)
-            yield from page.rows
+            if remaining <= 0:
+                break
+            # Slice every page: a concurrent writer may be appending to
+            # the tail, and yielding the live row list would hand its
+            # uncommitted rows to this snapshot scan mid-iteration.
+            taken = list(self.buffer.get_page(page_id).rows[:remaining])
+            remaining -= len(taken)
+            yield from taken
 
     def scan_pages(self) -> Iterator[list[tuple]]:
         """Yield the file page by page (external sort, batch execution)."""
+        limit = self._scan_limit()
+        if limit is None:
+            for page_id in list(self.page_ids):
+                yield list(self.buffer.get_page(page_id).rows)
+            return
+        remaining = limit
         for page_id in list(self.page_ids):
-            yield list(self.buffer.get_page(page_id).rows)
+            if remaining <= 0:
+                break
+            rows = list(self.buffer.get_page(page_id).rows[:remaining])
+            remaining -= len(rows)
+            yield rows
 
     def scan_with_positions(self) -> Iterator[tuple[tuple[int, int], tuple]]:
         """Yield ``((page_id, slot), row)`` pairs — used by index builds."""
+        limit = self._scan_limit()
+        remaining = self._num_rows if limit is None else limit
         for page_id in list(self.page_ids):
+            if remaining <= 0:
+                break
             page = self.buffer.get_page(page_id)
-            for slot, row in enumerate(page.rows):
+            taken = list(page.rows[:remaining])
+            for slot, row in enumerate(taken):
                 yield (page_id, slot), row
+            remaining -= len(taken)
 
     def fetch(self, page_id: int, slot: int) -> tuple:
         """Fetch one tuple by position (an index probe's heap access).

@@ -1,0 +1,45 @@
+"""Transactions: write-ahead logging + MVCC snapshot isolation.
+
+The subsystem has three parts:
+
+* :mod:`repro.txn.wal` — an append-only, checksummed write-ahead log
+  with LSNs, explicit flush durability points, and torn-tail-tolerant
+  replay reading;
+* :mod:`repro.txn.mvcc` — the snapshot manager: monotonic commit
+  timestamps and immutable per-table row horizons that readers pin so
+  scans see one committed state while writers commit;
+* :mod:`repro.txn.txn` — the transaction API
+  (``Database.begin()/commit()/rollback()``, autocommit for plain
+  inserts, WAL-logged undo on abort) and crash :func:`recovery
+  <repro.txn.txn.recover>` by replaying committed log records.
+"""
+
+from repro.txn.mvcc import Snapshot, SnapshotManager, TransactionSnapshot
+from repro.txn.txn import (
+    Transaction,
+    TransactionError,
+    TransactionManager,
+    recover,
+)
+from repro.txn.wal import (
+    WalCrash,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    read_records,
+)
+
+__all__ = [
+    "Snapshot",
+    "SnapshotManager",
+    "Transaction",
+    "TransactionError",
+    "TransactionManager",
+    "TransactionSnapshot",
+    "WalCrash",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_records",
+    "recover",
+]

@@ -1,0 +1,180 @@
+"""MVCC snapshots: monotonic commit timestamps over row horizons.
+
+Heap files are append-only, so the committed state of a base table at
+any commit timestamp is fully described by *how many rows it had then*
+— the "first N rows" horizon.  A :class:`Snapshot` is therefore an
+immutable ``{table: row_count}`` map tagged with the commit timestamp
+(``data_version``) that produced it; the per-table delta chain of a
+general MVCC design degenerates to this one integer per table.
+
+The :class:`SnapshotManager` is the single point of truth:
+
+* every commit ``publish()``\\ es a new snapshot — one atomic swap
+  covering all tables the transaction wrote, so no reader can observe
+  a half-committed transaction;
+* readers ``pinned()`` the current snapshot for the duration of a
+  query (activating it in :mod:`repro.storage.visibility`, which the
+  heap scans consult); pinning is reentrant — a pipeline stage that
+  pins inside an already-pinned query reuses the outer snapshot, so
+  one query never straddles two commit points;
+* uncommitted rows live past every published horizon (writers append
+  to the heap tail before committing), so in-flight writes are
+  invisible to every reader without any locking on the read path.
+
+:class:`TransactionSnapshot` overlays read-your-writes on a base
+snapshot: the owning transaction's written tables become unrestricted
+(its rows are the physical tail while it holds the commit lock), while
+everything else stays at the begin snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+
+from repro.storage import visibility
+
+
+class Snapshot:
+    """An immutable committed state: commit timestamp + row horizons."""
+
+    __slots__ = ("data_version", "_horizons")
+
+    def __init__(self, data_version: int, horizons: Mapping[str, int]) -> None:
+        self.data_version = data_version
+        self._horizons = dict(horizons)
+
+    def limit_for(self, name: str) -> int | None:
+        """Visible row count for table ``name``; None = untracked.
+
+        Untracked names are temps or tables created after this
+        snapshot (DDL excludes running readers via the catalog lock),
+        both of which read unrestricted.
+        """
+        return self._horizons.get(name)
+
+    def tables(self) -> dict[str, int]:
+        """A copy of the horizon map (for diagnostics and tests)."""
+        return dict(self._horizons)
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot(v{self.data_version}, "
+            f"{len(self._horizons)} table(s))"
+        )
+
+
+class TransactionSnapshot:
+    """Read-your-writes overlay for the transaction that owns it."""
+
+    __slots__ = ("base", "_unrestricted")
+
+    def __init__(self, base: Snapshot, unrestricted: set[str]) -> None:
+        self.base = base
+        self._unrestricted = set(unrestricted)
+
+    @property
+    def data_version(self) -> int:
+        return self.base.data_version
+
+    def limit_for(self, name: str) -> int | None:
+        if name in self._unrestricted:
+            # The owner's appends are the heap tail (writers are
+            # serialized), so unrestricted = snapshot + own writes.
+            return None
+        return self.base.limit_for(name)
+
+
+class SnapshotManager:
+    """Publishes commit snapshots and tracks reader pins.
+
+    All mutation happens under one small mutex; readers take the
+    reference to the current (immutable) snapshot and never lock again.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current = Snapshot(0, {})
+        self._active_pins = 0
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def data_version(self) -> int:
+        """The monotonic commit timestamp of the current snapshot."""
+        return self._current.data_version
+
+    @property
+    def active_pins(self) -> int:
+        """Number of currently pinned reads (diagnostics/shell)."""
+        return self._active_pins
+
+    def current(self) -> Snapshot:
+        """The latest committed snapshot."""
+        return self._current
+
+    # -- publication -----------------------------------------------------
+
+    def register_table(self, name: str, rows: int = 0) -> None:
+        """Track a (newly created or loaded) table without a commit.
+
+        Runs under the catalog's DDL lock; the snapshot is swapped at
+        the *same* commit timestamp with the horizon added, so readers
+        admitted afterwards see the table while already-pinned readers
+        keep their (table-less, hence unrestricted-but-irrelevant) map.
+        """
+        with self._lock:
+            horizons = self._current.tables()
+            horizons[name] = rows
+            self._current = Snapshot(self._current.data_version, horizons)
+
+    def forget_table(self, name: str) -> None:
+        """Stop tracking a dropped table."""
+        with self._lock:
+            horizons = self._current.tables()
+            horizons.pop(name, None)
+            self._current = Snapshot(self._current.data_version, horizons)
+
+    def publish(self, updates: Mapping[str, int]) -> Snapshot:
+        """Commit: advance the timestamp with new horizons, atomically.
+
+        One swap covers every table in ``updates``, so a concurrent
+        reader pins either the whole commit or none of it.
+        """
+        with self._lock:
+            horizons = self._current.tables()
+            horizons.update(updates)
+            published = Snapshot(self._current.data_version + 1, horizons)
+            self._current = published
+            return published
+
+    # -- pinning ---------------------------------------------------------
+
+    @contextmanager
+    def pinned(
+        self, snapshot: visibility.SnapshotLike | None = None
+    ) -> Iterator[visibility.SnapshotLike]:
+        """Pin a snapshot for the duration of the block.
+
+        Without an explicit ``snapshot``, reuses the already-active one
+        when the caller is nested inside a pinned region (one query =
+        one commit point) and pins the current snapshot otherwise.  An
+        explicit snapshot (a transaction's read-your-writes overlay)
+        always activates, shadowing any outer pin.
+        """
+        if snapshot is None:
+            active = visibility.active_snapshot()
+            if active is not None:
+                yield active
+                return
+            snapshot = self.current()
+        token = visibility.activate(snapshot)
+        with self._lock:
+            self._active_pins += 1
+        try:
+            yield snapshot
+        finally:
+            with self._lock:
+                self._active_pins -= 1
+            visibility.deactivate(token)

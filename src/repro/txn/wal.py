@@ -1,0 +1,273 @@
+"""Write-ahead log: append-only, checksummed, torn-tail tolerant.
+
+Record format (little-endian)::
+
+    +----------+----------+------------------+
+    | length:4 | crc32:4  | payload (JSON)   |
+    +----------+----------+------------------+
+
+The payload is one JSON object carrying ``type`` (begin / insert /
+create_table / drop_table / commit / abort), ``txid``, and
+record-specific fields (table name, row values, schema).  A record's
+**LSN is its byte offset** in the log, so LSNs are monotone, sparse,
+and double as truncation points.
+
+Durability model.  ``append()`` only stages a record in the in-memory
+pending buffer; ``flush()`` writes the pending bytes to the backing
+store and (for file-backed logs) fsyncs — that is the explicit
+durability point.  A crash between append and flush loses exactly the
+pending suffix, which is how the tests simulate "the WAL writer died
+at record boundary k": write a workload, reopen the file, and the
+unflushed records are simply gone.  A crash *during* a flush leaves a
+torn tail — a record whose header or body is incomplete, or whose CRC
+does not match — which :func:`read_records` detects and truncates at
+the last whole record.
+
+The log is storage-agnostic: ``path=None`` gives an in-memory log
+(byte-identical format, used by default so plain ``Database`` usage
+writes no files), a path gives a real file opened for append.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ReproError
+
+_HEADER = struct.Struct("<II")
+
+#: Record types the replayer understands.
+RECORD_TYPES = (
+    "begin",
+    "insert",
+    "create_table",
+    "drop_table",
+    "create_index",
+    "commit",
+    "abort",
+)
+
+
+class WalError(ReproError):
+    """A malformed log, or an I/O failure while writing it."""
+
+
+class WalCrash(WalError):
+    """Raised by an installed fault point — simulates the writer dying."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record."""
+
+    lsn: int
+    type: str
+    txid: int
+    payload: dict[str, Any]
+
+    def describe(self) -> str:
+        extra = {
+            k: v for k, v in self.payload.items() if k not in ("type", "txid")
+        }
+        return f"lsn={self.lsn} txid={self.txid} {self.type} {extra or ''}"
+
+
+def _encode(payload: dict[str, Any]) -> bytes:
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def decode_records(data: bytes) -> tuple[list[WalRecord], int]:
+    """Decode every whole record in ``data``; returns (records, valid_bytes).
+
+    ``valid_bytes`` is the offset of the first torn or corrupt record
+    (== ``len(data)`` for a clean log).  Everything from a truncated
+    header, a short body, or a CRC mismatch onwards is discarded — the
+    recovery contract is "replay the longest clean prefix".
+    """
+    records: list[WalRecord] = []
+    offset = 0
+    total = len(data)
+    while offset + _HEADER.size <= total:
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            break  # torn body
+        body = data[start:end]
+        if zlib.crc32(body) != crc:
+            break  # corrupt record (torn overwrite)
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            break
+        if (
+            not isinstance(payload, dict)
+            or payload.get("type") not in RECORD_TYPES
+        ):
+            break
+        records.append(
+            WalRecord(
+                lsn=offset,
+                type=payload["type"],
+                txid=int(payload.get("txid", 0)),
+                payload=payload,
+            )
+        )
+        offset = end
+    return records, offset
+
+
+def read_records(path: str | os.PathLike) -> tuple[list[WalRecord], int]:
+    """Decode a log file's clean prefix; returns (records, valid_bytes)."""
+    data = pathlib.Path(path).read_bytes()
+    return decode_records(data)
+
+
+class WriteAheadLog:
+    """An append-only record log with explicit flush durability points."""
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path = pathlib.Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._pending: list[bytes] = []
+        self._crash_after: int | None = None
+        self.flush_count = 0
+        if self.path is not None and self.path.exists():
+            # Reopening an existing log: truncate any torn tail so new
+            # records append at a clean record boundary.
+            records, valid = read_records(self.path)
+            if valid != self.path.stat().st_size:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(valid)
+            self._flushed = valid
+            self._last_lsn = records[-1].lsn if records else -1
+            self._memory = None
+        elif self.path is not None:
+            self.path.write_bytes(b"")
+            self._flushed = 0
+            self._last_lsn = -1
+            self._memory = None
+        else:
+            self._memory = bytearray()
+            self._flushed = 0
+            self._last_lsn = -1
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, record_type: str, txid: int, **payload: Any) -> int:
+        """Stage one record; returns its LSN.  Durable only after flush."""
+        if record_type not in RECORD_TYPES:
+            raise WalError(f"unknown WAL record type {record_type!r}")
+        with self._lock:
+            if self._crash_after is not None:
+                if self._crash_after <= 0:
+                    raise WalCrash(
+                        f"injected crash before {record_type} record"
+                    )
+                self._crash_after -= 1
+            body = dict(payload)
+            body["type"] = record_type
+            body["txid"] = txid
+            encoded = _encode(body)
+            lsn = self._flushed + sum(len(b) for b in self._pending)
+            self._pending.append(encoded)
+            self._last_lsn = lsn
+            return lsn
+
+    def flush(self) -> None:
+        """Durability point: persist every staged record, in order."""
+        with self._lock:
+            if not self._pending:
+                return
+            blob = b"".join(self._pending)
+            if self._memory is not None:
+                self._memory.extend(blob)
+            else:
+                with open(self.path, "ab") as handle:
+                    handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            self._flushed += len(blob)
+            self._pending.clear()
+            self.flush_count += 1
+
+    def discard_pending(self) -> int:
+        """Drop staged-but-unflushed records (count returned).
+
+        Used when a transaction aborts before ever reaching a
+        durability point: its records need not survive, and dropping
+        them keeps the log free of noise.
+        """
+        with self._lock:
+            dropped = len(self._pending)
+            self._pending.clear()
+            return dropped
+
+    # -- fault injection -------------------------------------------------
+
+    def install_crash(self, after_records: int) -> None:
+        """Make the writer raise :class:`WalCrash` after N more appends.
+
+        The crash fires *before* the (N+1)th record is staged, so the
+        log's durable prefix ends at a record boundary — the scenario
+        the recovery tests sweep exhaustively.
+        """
+        with self._lock:
+            self._crash_after = after_records
+
+    def clear_crash(self) -> None:
+        with self._lock:
+            self._crash_after = None
+
+    # -- reading ---------------------------------------------------------
+
+    def records(self) -> list[WalRecord]:
+        """Decode the *durable* log (staged records are not included)."""
+        with self._lock:
+            if self._memory is not None:
+                data = bytes(self._memory)
+            else:
+                data = self.path.read_bytes()
+        return decode_records(data)[0]
+
+    def snapshot_bytes(self) -> bytes:
+        """The durable log bytes (for crash-simulation tests)."""
+        with self._lock:
+            if self._memory is not None:
+                return bytes(self._memory)
+            return self.path.read_bytes()
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Durable size in bytes."""
+        with self._lock:
+            return self._flushed
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended record (-1 for empty)."""
+        with self._lock:
+            return self._last_lsn
+
+    @property
+    def pending_records(self) -> int:
+        """Staged records not yet made durable."""
+        with self._lock:
+            return len(self._pending)
+
+    def describe(self) -> str:
+        return (
+            f"wal: {self.size} byte(s) durable, last lsn {self.last_lsn}, "
+            f"{self.pending_records} pending, {self.flush_count} flush(es)"
+            + (f", file {self.path}" if self.path else ", in-memory")
+        )

@@ -1,0 +1,142 @@
+"""Version split: schema events vs data events, one test per event kind.
+
+The plan cache keys on ``schema_version``; ``data_version`` only flags
+that rows changed (cached plans survive it).  Each catalog change event
+must bump exactly one of the two — a regression here silently turns
+into either stale cached plans (data event misclassified as schema:
+nothing breaks but caching stops paying) or wrong results (schema event
+misclassified as data: a stale plan keeps running against a new
+schema).
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.catalog.catalog import event_class
+from repro.errors import CatalogError
+
+
+def make_db() -> Database:
+    db = Database(buffer_pages=16)
+    db.create_table("PARTS", ["PNUM", "QOH"])
+    db.insert("PARTS", [(3, 6), (10, 1)])
+    return db
+
+
+def versions(db):
+    return (db.catalog.schema_version, db.catalog.data_version)
+
+
+class TestEventClassification:
+    @pytest.mark.parametrize(
+        "event", ["create_table", "drop_table", "create_index", "analyze"]
+    )
+    def test_schema_events(self, event):
+        assert event_class(event) == "schema"
+
+    def test_data_events(self):
+        assert event_class("insert") == "data"
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(CatalogError):
+            event_class("vacuum")
+
+
+class TestPerEventBumps:
+    def test_create_table_bumps_schema_only(self):
+        db = make_db()
+        schema, data = versions(db)
+        db.create_table("OTHER", ["A"])
+        assert versions(db) == (schema + 1, data)
+
+    def test_drop_table_bumps_schema_only(self):
+        db = make_db()
+        schema, data = versions(db)
+        db.drop_table("PARTS")
+        assert versions(db) == (schema + 1, data)
+
+    def test_create_index_bumps_schema_only(self):
+        db = make_db()
+        schema, data = versions(db)
+        db.create_index("PARTS", "PNUM")
+        assert versions(db) == (schema + 1, data)
+
+    def test_analyze_bumps_schema_only(self):
+        db = make_db()
+        schema, data = versions(db)
+        db.analyze("PARTS")
+        assert versions(db) == (schema + 1, data)
+
+    def test_insert_bumps_data_only(self):
+        db = make_db()
+        schema, data = versions(db)
+        db.insert("PARTS", [(8, 0)])
+        assert versions(db) == (schema, data + 1)
+
+    def test_txn_commit_bumps_data_per_table(self):
+        db = make_db()
+        db.create_table("SUPPLY", ["PNUM", "QUAN"])
+        schema, data = versions(db)
+        with db.begin() as txn:
+            txn.insert("PARTS", [(8, 0)])
+            txn.insert("SUPPLY", [(8, 1)])
+        assert versions(db) == (schema, data + 2)
+
+    def test_rollback_bumps_nothing(self):
+        db = make_db()
+        before = versions(db)
+        txn = db.begin()
+        txn.insert("PARTS", [(8, 0)])
+        txn.rollback()
+        assert versions(db) == before
+
+    def test_temp_table_churn_bumps_nothing(self):
+        db = make_db()
+        before = versions(db)
+        db.run(
+            "SELECT PNUM FROM PARTS WHERE QOH = "
+            "(SELECT MAX(QOH) FROM PARTS)",
+            method="transform",
+        )
+        assert versions(db) == before
+
+
+class TestCombinedCounter:
+    def test_version_is_the_sum(self):
+        db = make_db()
+        assert db.catalog.version == (
+            db.catalog.schema_version + db.catalog.data_version
+        )
+        db.insert("PARTS", [(8, 0)])
+        db.create_index("PARTS", "PNUM")
+        assert db.catalog.version == (
+            db.catalog.schema_version + db.catalog.data_version
+        )
+
+    def test_version_advances_once_per_bump(self):
+        db = make_db()
+        before = db.catalog.version
+        db.insert("PARTS", [(8, 0)])
+        assert db.catalog.version == before + 1
+        db.analyze("PARTS")
+        assert db.catalog.version == before + 2
+
+
+class TestSnapshotRegistration:
+    def test_create_registers_horizon(self):
+        db = make_db()
+        snap = db.catalog.snapshots.current()
+        assert snap.limit_for("PARTS") == 2
+
+    def test_drop_forgets_horizon(self):
+        db = make_db()
+        db.drop_table("PARTS")
+        assert db.catalog.snapshots.current().limit_for("PARTS") is None
+
+    def test_insert_publishes_new_horizon(self):
+        db = make_db()
+        version = db.catalog.snapshots.data_version
+        db.insert("PARTS", [(8, 0)])
+        snap = db.catalog.snapshots.current()
+        assert snap.data_version == version + 1
+        assert snap.limit_for("PARTS") == 3

@@ -1,0 +1,85 @@
+"""Snapshot manager: horizons, atomic publication, pinning semantics."""
+
+from repro.storage import visibility
+from repro.txn.mvcc import Snapshot, SnapshotManager, TransactionSnapshot
+
+
+class TestSnapshot:
+    def test_limit_for_tracked_and_untracked(self):
+        snap = Snapshot(3, {"PARTS": 5})
+        assert snap.limit_for("PARTS") == 5
+        assert snap.limit_for("TEMP_1") is None
+
+    def test_transaction_overlay_unrestricts_own_writes(self):
+        base = Snapshot(3, {"PARTS": 5, "SUPPLY": 9})
+        overlay = TransactionSnapshot(base, {"PARTS"})
+        assert overlay.limit_for("PARTS") is None
+        assert overlay.limit_for("SUPPLY") == 9
+        assert overlay.data_version == 3
+
+
+class TestSnapshotManager:
+    def test_publish_advances_version_atomically(self):
+        mgr = SnapshotManager()
+        mgr.register_table("A")
+        mgr.register_table("B")
+        before = mgr.current()
+        published = mgr.publish({"A": 4, "B": 7})
+        assert published.data_version == before.data_version + 1
+        assert published.tables() == {"A": 4, "B": 7}
+        # The pre-publish snapshot is immutable.
+        assert before.tables() == {"A": 0, "B": 0}
+
+    def test_register_does_not_advance_version(self):
+        mgr = SnapshotManager()
+        v = mgr.data_version
+        mgr.register_table("A", rows=2)
+        assert mgr.data_version == v
+        assert mgr.current().limit_for("A") == 2
+
+    def test_forget_table(self):
+        mgr = SnapshotManager()
+        mgr.register_table("A")
+        mgr.forget_table("A")
+        assert mgr.current().limit_for("A") is None
+
+
+class TestPinning:
+    def test_pinned_activates_and_restores(self):
+        mgr = SnapshotManager()
+        mgr.register_table("A", rows=3)
+        assert visibility.visible_limit("A") is None
+        with mgr.pinned():
+            assert visibility.visible_limit("A") == 3
+            assert mgr.active_pins == 1
+        assert visibility.visible_limit("A") is None
+        assert mgr.active_pins == 0
+
+    def test_nested_pin_reuses_outer_snapshot(self):
+        mgr = SnapshotManager()
+        mgr.register_table("A", rows=3)
+        with mgr.pinned() as outer:
+            mgr.publish({"A": 10})
+            with mgr.pinned() as inner:
+                # One query = one commit point: the inner stage must
+                # not jump to the newer snapshot mid-query.
+                assert inner is outer
+                assert visibility.visible_limit("A") == 3
+
+    def test_explicit_snapshot_shadows_outer_pin(self):
+        mgr = SnapshotManager()
+        mgr.register_table("A", rows=3)
+        overlay = TransactionSnapshot(mgr.current(), {"A"})
+        with mgr.pinned():
+            with mgr.pinned(overlay):
+                assert visibility.visible_limit("A") is None
+            assert visibility.visible_limit("A") == 3
+
+    def test_pinned_snapshot_is_stable_across_publish(self):
+        mgr = SnapshotManager()
+        mgr.register_table("A", rows=3)
+        with mgr.pinned():
+            mgr.publish({"A": 10})
+            assert visibility.visible_limit("A") == 3
+        with mgr.pinned():
+            assert visibility.visible_limit("A") == 10

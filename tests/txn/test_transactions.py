@@ -1,0 +1,191 @@
+"""Transaction semantics: atomicity, isolation, rollback, autocommit."""
+
+import threading
+
+import pytest
+
+from repro.api import Database
+from repro.errors import CatalogError
+from repro.txn import TransactionError
+
+PARTS = [(3, 6), (10, 1), (8, 0)]
+SUPPLY = [
+    (3, 4, "1980-01-01"),
+    (3, 2, "1980-08-01"),
+    (10, 1, "1980-02-01"),
+    (8, 5, "1981-01-01"),
+]
+
+JA_QUERY = (
+    "SELECT PNUM FROM PARTS WHERE QOH = "
+    "(SELECT COUNT(SHIPDATE) FROM SUPPLY "
+    "WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '1980-06-01')"
+)
+
+
+def make_db(**kwargs) -> Database:
+    db = Database(buffer_pages=16, **kwargs)
+    db.create_table("PARTS", ["PNUM", "QOH"])
+    db.create_table("SUPPLY", ["PNUM", "QUAN", ("SHIPDATE", "text")])
+    db.insert("PARTS", PARTS)
+    db.insert("SUPPLY", SUPPLY)
+    return db
+
+
+def pnums(db) -> list:
+    return sorted(db.query("SELECT PNUM FROM PARTS").rows)
+
+
+class TestIsolation:
+    def test_uncommitted_rows_invisible_to_other_readers(self):
+        db = make_db()
+        txn = db.begin()
+        txn.insert("PARTS", [(99, 5)])
+        assert (99,) not in pnums(db)
+        txn.commit()
+        assert (99,) in pnums(db)
+
+    def test_transaction_reads_its_own_writes(self):
+        db = make_db()
+        with db.begin() as txn:
+            txn.insert("PARTS", [(99, 5)])
+            rows = txn.query("SELECT PNUM FROM PARTS WHERE PNUM = 99").rows
+            assert rows == [(99,)]
+
+    def test_transaction_does_not_see_later_commits(self):
+        db = make_db()
+        txn = db.begin()
+        # Pin the begin snapshot with a first read.
+        assert len(txn.query("SELECT PNUM FROM PARTS").rows) == 3
+        db.insert("PARTS", [(50, 5)])
+        # The explicit transaction still reads its begin snapshot...
+        assert len(txn.query("SELECT PNUM FROM PARTS").rows) == 3
+        txn.commit()
+        # ...while plain reads see the committed row immediately.
+        assert (50,) in pnums(db)
+
+    def test_nested_subquery_sees_one_snapshot(self):
+        db = make_db()
+        txn = db.begin()
+        db.insert("SUPPLY", [(8, 1, "1979-01-01")])
+        # Both the outer scan and correlated inner COUNT must read the
+        # begin snapshot: with the new SUPPLY row PNUM 8 would drop out.
+        rows = txn.query(JA_QUERY, method="transform").rows
+        assert sorted(rows) == [(8,), (10,)]
+        txn.commit()
+        assert sorted(db.query(JA_QUERY, method="transform").rows) == [(10,)]
+
+
+class TestAtomicity:
+    def test_rollback_restores_exact_row_count(self):
+        db = make_db()
+        before = pnums(db)
+        txn = db.begin()
+        txn.insert("PARTS", [(99, 5), (98, 4), (97, 3)])
+        txn.insert("SUPPLY", [(99, 1, "1985-01-01")])
+        txn.rollback()
+        assert pnums(db) == before
+        assert db.catalog.heap_of("PARTS").num_rows == len(PARTS)
+        assert db.catalog.heap_of("SUPPLY").num_rows == len(SUPPLY)
+
+    def test_context_manager_rolls_back_on_exception(self):
+        db = make_db()
+        with pytest.raises(RuntimeError):
+            with db.begin() as txn:
+                txn.insert("PARTS", [(99, 5)])
+                raise RuntimeError("boom")
+        assert (99,) not in pnums(db)
+        assert db.txn.aborts == 1
+
+    def test_multi_table_commit_is_atomic_to_readers(self):
+        db = make_db()
+        with db.begin() as txn:
+            txn.insert("PARTS", [(99, 1)])
+            txn.insert("SUPPLY", [(99, 1, "1985-01-01")])
+        rows = db.query(
+            "SELECT PARTS.PNUM FROM PARTS, SUPPLY "
+            "WHERE PARTS.PNUM = SUPPLY.PNUM AND PARTS.PNUM = 99"
+        ).rows
+        assert rows == [(99,)]
+
+    def test_validation_failure_leaves_table_untouched(self):
+        db = make_db()
+        with pytest.raises(CatalogError):
+            db.insert("PARTS", [(1, 2), ("bad", "row", "extra")])
+        assert db.catalog.heap_of("PARTS").num_rows == len(PARTS)
+
+    def test_use_after_commit_raises(self):
+        db = make_db()
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.insert("PARTS", [(1, 1)])
+        with pytest.raises(TransactionError):
+            txn.query("SELECT PNUM FROM PARTS")
+
+
+class TestAutocommit:
+    def test_plain_insert_counts_as_commit(self):
+        db = make_db()
+        commits = db.txn.commits
+        db.insert("PARTS", [(50, 5)])
+        assert db.txn.commits == commits + 1
+
+    def test_indexes_rebuilt_at_commit(self):
+        db = make_db()
+        db.create_index("SUPPLY", "PNUM")
+        with db.begin() as txn:
+            txn.insert("SUPPLY", [(42, 1, "1985-01-01")])
+        index = db.catalog.index_for("SUPPLY", "PNUM")
+        assert list(index.lookup(42))
+
+    def test_rollback_keeps_indexes_consistent(self):
+        db = make_db()
+        db.create_index("SUPPLY", "PNUM")
+        txn = db.begin()
+        txn.insert("SUPPLY", [(42, 1, "1985-01-01")])
+        txn.rollback()
+        index = db.catalog.index_for("SUPPLY", "PNUM")
+        assert not list(index.lookup(42))
+        assert len(db.query("SELECT PNUM FROM SUPPLY").rows) == len(SUPPLY)
+
+
+class TestWriterSerialization:
+    def test_second_writer_blocks_until_commit(self):
+        db = make_db()
+        txn = db.begin()
+        txn.insert("PARTS", [(99, 5)])
+        started = threading.Event()
+        finished = threading.Event()
+
+        def other_writer():
+            started.set()
+            db.insert("PARTS", [(98, 4)])
+            finished.set()
+
+        thread = threading.Thread(target=other_writer)
+        thread.start()
+        started.wait(timeout=5)
+        assert not finished.wait(timeout=0.2)  # blocked on the commit lock
+        txn.commit()
+        thread.join(timeout=5)
+        assert finished.is_set()
+        assert (98,) in pnums(db) and (99,) in pnums(db)
+
+    def test_readers_do_not_block_on_open_writer(self):
+        db = make_db()
+        txn = db.begin()
+        txn.insert("PARTS", [(99, 5)])
+        results = []
+
+        def reader():
+            results.append(pnums(db))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert len(results) == 4
+        assert all((99,) not in rows for rows in results)
+        txn.rollback()

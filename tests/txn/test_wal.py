@@ -1,0 +1,153 @@
+"""WAL format: framing, LSNs, durability points, torn-tail tolerance."""
+
+import pytest
+
+from repro.txn.wal import (
+    WalCrash,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    decode_records,
+    read_records,
+)
+
+
+class TestFraming:
+    def test_lsn_is_byte_offset(self):
+        wal = WriteAheadLog()
+        first = wal.append("begin", 1)
+        second = wal.append("insert", 1, table="T", rows=[[1]])
+        assert first == 0
+        assert second > 0
+        wal.flush()
+        records = wal.records()
+        assert [r.lsn for r in records] == [first, second]
+        assert wal.last_lsn == second
+
+    def test_round_trip_preserves_payload(self):
+        wal = WriteAheadLog()
+        wal.append("insert", 7, table="PARTS", rows=[[3, 6], [10, 1]])
+        wal.flush()
+        (record,) = wal.records()
+        assert record == WalRecord(
+            lsn=0,
+            type="insert",
+            txid=7,
+            payload={
+                "type": "insert",
+                "txid": 7,
+                "table": "PARTS",
+                "rows": [[3, 6], [10, 1]],
+            },
+        )
+
+    def test_unknown_record_type_rejected(self):
+        wal = WriteAheadLog()
+        with pytest.raises(WalError):
+            wal.append("update", 1)
+
+
+class TestDurability:
+    def test_append_is_not_durable_until_flush(self):
+        wal = WriteAheadLog()
+        wal.append("begin", 1)
+        assert wal.records() == []
+        assert wal.pending_records == 1
+        assert wal.size == 0
+        wal.flush()
+        assert len(wal.records()) == 1
+        assert wal.pending_records == 0
+        assert wal.size > 0
+
+    def test_flush_preserves_append_order(self):
+        wal = WriteAheadLog()
+        for i in range(5):
+            wal.append("begin", i)
+        wal.flush()
+        assert [r.txid for r in wal.records()] == list(range(5))
+
+    def test_discard_pending_drops_only_unflushed(self):
+        wal = WriteAheadLog()
+        wal.append("begin", 1)
+        wal.flush()
+        wal.append("begin", 2)
+        assert wal.discard_pending() == 1
+        wal.flush()
+        assert [r.txid for r in wal.records()] == [1]
+
+    def test_file_backed_log_survives_reopen(self, tmp_path):
+        path = tmp_path / "test.wal"
+        wal = WriteAheadLog(path)
+        wal.append("begin", 1)
+        wal.append("commit", 1, tables={"T": 3})
+        wal.flush()
+        reopened = WriteAheadLog(path)
+        assert [r.type for r in reopened.records()] == ["begin", "commit"]
+        assert reopened.last_lsn == wal.last_lsn
+        assert reopened.size == wal.size
+
+
+class TestTornTail:
+    def _durable_bytes(self):
+        wal = WriteAheadLog()
+        wal.append("begin", 1)
+        wal.append("insert", 1, table="T", rows=[[1, 2]])
+        wal.append("commit", 1, tables={"T": 1})
+        wal.flush()
+        return wal.snapshot_bytes()
+
+    def test_clean_log_decodes_fully(self):
+        data = self._durable_bytes()
+        records, valid = decode_records(data)
+        assert len(records) == 3
+        assert valid == len(data)
+
+    def test_torn_body_truncates_to_last_whole_record(self):
+        data = self._durable_bytes()
+        for cut in range(len(data) - 1, 0, -1):
+            records, valid = decode_records(data[:cut])
+            # The clean prefix is always a record boundary <= the cut.
+            assert valid <= cut
+            assert all(r.lsn < valid for r in records)
+            redecoded, revalid = decode_records(data[:valid])
+            assert revalid == valid
+            assert len(redecoded) == len(records)
+
+    def test_corrupt_byte_truncates_from_there(self):
+        data = bytearray(self._durable_bytes())
+        records, _ = decode_records(bytes(data))
+        second_start = records[1].lsn
+        data[second_start + 10] ^= 0xFF  # flip a byte inside record 2
+        surviving, valid = decode_records(bytes(data))
+        assert [r.type for r in surviving] == ["begin"]
+        assert valid == second_start
+
+    def test_reopen_truncates_torn_file(self, tmp_path):
+        path = tmp_path / "torn.wal"
+        data = self._durable_bytes()
+        records, _ = decode_records(data)
+        torn = data[: records[2].lsn + 5]  # half a commit header+body
+        path.write_bytes(torn)
+        wal = WriteAheadLog(path)
+        assert path.stat().st_size == records[2].lsn
+        assert [r.type for r in wal.records()] == ["begin", "insert"]
+        # New appends land on the clean boundary.
+        wal.append("abort", 1)
+        wal.flush()
+        reread, valid = read_records(path)
+        assert [r.type for r in reread] == ["begin", "insert", "abort"]
+        assert valid == path.stat().st_size
+
+
+class TestFaultInjection:
+    def test_crash_fires_after_n_records(self):
+        wal = WriteAheadLog()
+        wal.install_crash(after_records=2)
+        wal.append("begin", 1)
+        wal.append("insert", 1, table="T", rows=[])
+        with pytest.raises(WalCrash):
+            wal.append("commit", 1, tables={})
+        wal.clear_crash()
+        wal.append("commit", 1, tables={})
+        wal.flush()
+        assert len(wal.records()) == 3
