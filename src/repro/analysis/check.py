@@ -155,7 +155,35 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="check the paper's workload queries on their instances",
     )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the CC lock-order lint over src/repro (baseline-"
+        "filtered) plus a TX monitor smoke",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="prove the concurrency analyzers detect their seeded-bug "
+        "fixtures",
+    )
     args = parser.parse_args(argv)
+
+    if args.concurrency or args.selftest:
+        from repro.analysis.concurrency.cli import (
+            run_concurrency_check,
+            run_selftest,
+        )
+
+        exit_code = 0
+        if args.concurrency:
+            exit_code = max(exit_code, run_concurrency_check())
+        if args.selftest:
+            exit_code = max(exit_code, run_selftest())
+        if not args.queries and not args.figure1:
+            return exit_code
+        if exit_code:
+            return exit_code
 
     jobs: list[tuple[str, str, str]] = []
     if args.figure1:

@@ -1,0 +1,180 @@
+"""Command-line entry points for the concurrency toolkit.
+
+``python -m repro check --concurrency`` runs the static CC rules over
+the installed ``repro`` package (fixtures excluded), applies the
+curated baseline, and finishes with a TX-monitor smoke: a real
+begin/insert/commit cycle against an in-memory database with the
+always-on invariant monitors doing their checks.  Exit status 0 means
+"no unbaselined findings and the smoke committed cleanly".
+
+``python -m repro check --selftest`` proves the toolkit can still
+detect what it claims to detect: every seeded-bug fixture (see
+:mod:`repro.analysis.concurrency.fixtures`) must trigger its rule, the
+TX monitors must reject hand-built invariant violations, and the
+runtime witness must flag a reversed acquisition order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.concurrency.baseline import apply_baseline
+from repro.analysis.concurrency.lockgraph import analyze_paths, analyze_tree
+from repro.analysis.concurrency.witness import LockOrderError, witness
+
+
+def run_concurrency_check(verbose: bool = True) -> int:
+    """Static scan + baseline + TX monitor smoke; 0 when clean."""
+    findings = analyze_tree()
+    kept, suppressed, stale = apply_baseline(findings)
+    exit_code = 0
+    if verbose:
+        print("== concurrency lint (CC rules) ==")
+    for finding in kept:
+        print(finding.format())
+        exit_code = 1
+    for fingerprint in stale:
+        print(f"warning: stale baseline entry (matched nothing): {fingerprint}")
+    if verbose:
+        print(
+            f"  {len(findings)} finding(s): {len(kept)} violation(s), "
+            f"{len(suppressed)} baselined"
+        )
+    smoke_failures = _tx_monitor_smoke()
+    for message in smoke_failures:
+        print(f"TX monitor smoke failed: {message}")
+        exit_code = 1
+    if verbose and not smoke_failures:
+        print("== TX monitor smoke == ok (commit path ran with monitors on)")
+    return exit_code
+
+
+def _tx_monitor_smoke() -> list[str]:
+    """Drive the monitored commit path once; failures returned as text."""
+    from repro.api import Database
+    from repro.txn.monitors import TxnInvariantError
+
+    failures: list[str] = []
+    try:
+        db = Database()
+        db.create_table("SMOKE", [("A", "int")])
+        with db.begin() as txn:
+            txn.insert("SMOKE", [(1,), (2,)])
+        with db.begin() as txn:
+            txn.insert("SMOKE", [(3,)])
+            txn.rollback()
+        count = db.query("SELECT COUNT(*) FROM SMOKE").rows[0][0]
+        if count != 2:
+            failures.append(f"expected 2 committed rows, saw {count}")
+    except TxnInvariantError as error:
+        failures.append(f"monitors rejected a correct commit: {error}")
+    return failures
+
+
+def run_selftest(verbose: bool = True) -> int:
+    """Require every seeded bug to be detected; 0 when all are."""
+    failures: list[str] = []
+    failures.extend(_selftest_static())
+    failures.extend(_selftest_monitors())
+    failures.extend(_selftest_witness())
+    if failures:
+        for message in failures:
+            print(f"selftest FAILED: {message}")
+        return 1
+    if verbose:
+        print(
+            "== concurrency selftest == ok "
+            "(CC001-CC004, TX001-TX004, witness cycle all detected)"
+        )
+    return 0
+
+
+def _selftest_static() -> list[str]:
+    fixtures_dir = Path(__file__).parent / "fixtures"
+    paths = [
+        path
+        for path in fixtures_dir.glob("*.py")
+        if path.name != "__init__.py"
+    ]
+    findings = analyze_paths(paths)
+    seen = {finding.diagnostic.rule for finding in findings}
+    failures = []
+    for rule in ("CC001", "CC002", "CC003", "CC004"):
+        if rule not in seen:
+            failures.append(
+                f"{rule} missed its seeded fixture (found rules: "
+                f"{sorted(seen) or 'none'})"
+            )
+    return failures
+
+
+def _selftest_monitors() -> list[str]:
+    from collections.abc import Callable
+
+    from repro.analysis.concurrency.fixtures.seeded_skipped_flush import (
+        commit_skipping_flush,
+    )
+    from repro.txn import monitors
+    from repro.txn.monitors import TxnInvariantError
+    from repro.txn.mvcc import Snapshot
+
+    failures: list[str] = []
+
+    def expect(rule: str, action: Callable[[], object]) -> None:
+        try:
+            action()
+        except TxnInvariantError as error:
+            if error.diagnostic.rule != rule:
+                failures.append(
+                    f"{rule} violation reported as {error.diagnostic.rule}"
+                )
+        else:
+            failures.append(f"{rule} violation was not detected")
+
+    expect("TX001", lambda: monitors.check_lsn_monotonic(5, 5))
+    expect("TX002", commit_skipping_flush)
+    expect(
+        "TX003",
+        lambda: monitors.check_publish(
+            Snapshot(3, {"T": 2}), Snapshot(5, {"T": 2})
+        ),
+    )
+    expect(
+        "TX003",
+        lambda: monitors.check_publish(
+            Snapshot(3, {"T": 2}), Snapshot(4, {"T": 1})
+        ),
+    )
+    expect(
+        "TX004",
+        lambda: monitors.check_snapshot_unchanged(
+            monitors.fingerprint_horizons({"T": 2}), Snapshot(3, {"T": 9})
+        ),
+    )
+    return failures
+
+
+def _selftest_witness() -> list[str]:
+    from repro.storage.locks import make_lock
+
+    was_active = witness.active
+    witness.reset()
+    if not was_active:
+        witness.enable()
+    try:
+        first = make_lock("selftest.first")
+        second = make_lock("selftest.second")
+        with first:
+            with second:
+                pass
+        try:
+            with second:
+                with first:
+                    pass
+        except LockOrderError:
+            return []
+        return ["witness missed a reversed acquisition order"]
+    finally:
+        witness.reset()
+        if not was_active:
+            witness.disable()

@@ -1,0 +1,15 @@
+"""Seeded-bug fixtures for the concurrency toolkit's selftest.
+
+Each module here contains exactly the defect class one analyzer layer
+exists to catch — a reversed lock order (CC001), I/O under a latch
+(CC002), a leak-prone raw acquire (CC003), unguarded shared module
+state (CC004), and a commit that publishes before flushing (TX002).
+``python -m repro check --selftest`` runs every analyzer over these
+and fails unless *all* seeded bugs are detected; that is the guard
+against the lint rotting into a tool that reports nothing because it
+matches nothing.
+
+The package is excluded from the default ``--concurrency`` scan (and
+the fixtures are never imported by production code), so the seeded
+bugs cannot leak into the curated-clean baseline.
+"""

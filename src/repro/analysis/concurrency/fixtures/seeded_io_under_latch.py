@@ -1,0 +1,16 @@
+"""Seeded CC002: simulated I/O performed while holding a latch."""
+
+from __future__ import annotations
+
+import time
+
+from repro.storage.locks import make_lock
+
+LATCH = make_lock("fixture.latch")
+
+
+def transfer_under_latch(delay: float) -> None:
+    # BUG: the simulated transfer sleeps *inside* the latch, so every
+    # concurrent fault serializes on it instead of overlapping.
+    with LATCH:
+        time.sleep(delay)

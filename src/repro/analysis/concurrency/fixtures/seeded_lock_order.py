@@ -1,0 +1,22 @@
+"""Seeded CC001: two locks acquired in opposite orders (ABBA deadlock)."""
+
+from __future__ import annotations
+
+from repro.storage.locks import make_lock
+
+LOCK_ALPHA = make_lock("fixture.alpha")
+LOCK_BETA = make_lock("fixture.beta")
+
+
+def alpha_then_beta() -> None:
+    with LOCK_ALPHA:
+        with LOCK_BETA:
+            pass
+
+
+def beta_then_alpha() -> None:
+    # BUG: the reverse nesting of alpha_then_beta — two threads running
+    # these concurrently can each hold one lock and wait on the other.
+    with LOCK_BETA:
+        with LOCK_ALPHA:
+            pass

@@ -1,0 +1,18 @@
+"""Seeded CC003: a raw acquire whose release is not guaranteed."""
+
+from __future__ import annotations
+
+from repro.storage.locks import make_lock
+
+GATE = make_lock("fixture.gate")
+
+
+def update_unsafely(values: list[int]) -> int:
+    # BUG: no try/finally — if the loop raises, the lock stays held
+    # forever and every later caller deadlocks.
+    GATE.acquire()
+    total = 0
+    for value in values:
+        total += 10 // value
+    GATE.release()
+    return total

@@ -1,0 +1,27 @@
+"""Seeded TX002: a commit that publishes visibility before durability.
+
+This is a *runtime* fixture: it drives real WAL and snapshot-manager
+objects through the buggy ordering — append the commit record, skip
+``flush()``, publish — with the same monitor call the production
+commit path uses.  The selftest requires the monitor to raise.
+"""
+
+from __future__ import annotations
+
+from repro.txn import monitors
+from repro.txn.mvcc import SnapshotManager
+from repro.txn.wal import WriteAheadLog
+
+
+def commit_skipping_flush() -> None:
+    wal = WriteAheadLog()
+    snapshots = SnapshotManager()
+    snapshots.register_table("T", rows=0)
+    wal.append("begin", 1)
+    wal.append("insert", 1, table="T", rows=[[1]])
+    wal.append("commit", 1, tables={"T": 1})
+    # BUG: wal.flush() belongs here — the durability point must precede
+    # the visibility point.  The monitor below is the same check the
+    # real Transaction.commit performs before publishing.
+    monitors.check_flush_before_publish(wal.pending_records)
+    snapshots.publish({"T": 1})

@@ -1,0 +1,15 @@
+"""Seeded CC004: shared module state written without a lock."""
+
+from __future__ import annotations
+
+RESULT_CACHE: dict[str, int] = {}
+
+
+def remember(key: str, value: int) -> None:
+    # BUG: worker threads share this dict; unsynchronized writes race
+    # (check-then-act on the same key loses updates).
+    RESULT_CACHE[key] = value
+
+
+def forget(key: str) -> None:
+    RESULT_CACHE.pop(key, None)

@@ -1,0 +1,994 @@
+"""Static lock-order lint: the CC rules over an interprocedural lock graph.
+
+The analysis parses a set of Python modules, recognizes every lock
+declaration (see :mod:`repro.analysis.concurrency.model`), and walks
+each function body with a simulated *held-lock stack*: ``with`` blocks
+on recognized lock expressions push and pop, and every acquisition,
+call, I/O operation, and shared-global write is recorded together with
+the locks held at that point.  A second, interprocedural pass closes
+the records over the call graph (``self.wal.flush()`` resolves through
+the attribute type-hint table) and emits:
+
+* **CC001** — lock-order cycles.  Every ``held → acquired`` pair is an
+  edge in a directed graph over lock *names*; any edge inside a
+  non-trivial strongly connected component is a potential ABBA
+  deadlock.  Same-lock re-acquisition of a non-reentrant kind is the
+  degenerate one-node cycle (self-deadlock) and is reported directly.
+* **CC002** — simulated I/O (``time.sleep``, ``os.fsync``, ``open``,
+  ``read_bytes``/``write_bytes``) performed while holding a lock,
+  attributed to the *innermost* held lock.  Interprocedural: calling a
+  function whose I/O is not covered by one of its own locks counts at
+  the call site.
+* **CC003** — a raw ``lock.acquire()`` whose matching ``release()`` is
+  not guaranteed by a ``try/finally`` in the same block (the
+  context-manager form never triggers this).
+* **CC004** — writes to module-level mutable state with no recognized
+  lock held.  ``ContextVar`` and ``threading.local`` values are exempt,
+  as are import-time (module scope) writes.
+
+Findings reuse the :class:`~repro.analysis.diagnostics.Diagnostic`
+machinery — stable rule ids, caret snippets — and carry a *fingerprint*
+(``rule:path:function:subject``) so the curated baseline in
+:mod:`repro.analysis.concurrency.baseline` can exempt the handful of
+intentional exceptions (the WAL's fsync-under-lock durability point,
+the buffer pool's read-under-stripe-latch single-flight).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.concurrency.model import (
+    LOCK_RETURNING_METHODS,
+    MUTABLE_FACTORIES,
+    MUTATING_METHODS,
+    THREAD_LOCAL_FACTORIES,
+    TYPE_HINTS,
+    LockDecl,
+)
+from repro.analysis.diagnostics import Diagnostic, Span
+
+#: (module, class-or-None, function) — the global function key.
+FuncId = tuple[str, str | None, str]
+
+#: A held-lock stack entry: (declaration, mode). Mode is "read"/"write"
+#: for RWLocks and "exclusive" for everything else.
+Held = tuple[LockDecl, str]
+
+
+@dataclass(frozen=True)
+class FileFinding:
+    """One concurrency finding, located in a source file."""
+
+    path: str
+    function: str
+    diagnostic: Diagnostic
+    fingerprint: str
+    source: str = field(repr=False, compare=False, default="")
+
+    def format(self) -> str:
+        return f"{self.path}:{self.diagnostic.format(self.source)}"
+
+
+@dataclass
+class _AcqEvent:
+    decl: LockDecl
+    mode: str
+    node: ast.AST
+    held: tuple[Held, ...]
+
+
+@dataclass
+class _CallEvent:
+    callee: FuncId
+    node: ast.AST
+    held: tuple[Held, ...]
+
+
+@dataclass
+class _IOEvent:
+    desc: str
+    node: ast.AST
+    held: tuple[Held, ...]
+
+
+@dataclass
+class _RawAcquire:
+    decl: LockDecl
+    node: ast.AST
+    released_in_finally: bool
+
+
+@dataclass
+class _GlobalWrite:
+    var: str
+    node: ast.AST
+    held: tuple[Held, ...]
+
+
+@dataclass
+class _FuncSummary:
+    fid: FuncId
+    module: "_ModuleInfo"
+    qualname: str
+    acquires: list[_AcqEvent] = field(default_factory=list)
+    calls: list[_CallEvent] = field(default_factory=list)
+    ios: list[_IOEvent] = field(default_factory=list)
+    raw_acquires: list[_RawAcquire] = field(default_factory=list)
+    global_writes: list[_GlobalWrite] = field(default_factory=list)
+
+
+@dataclass
+class _ModuleInfo:
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    #: local name → dotted target module for ``from X import name``.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: class names defined here.
+    classes: set[str] = field(default_factory=set)
+    #: module-level mutable globals (CC004 candidates).
+    mutable_globals: set[str] = field(default_factory=set)
+    #: module-level names exempt from CC004 (ContextVar, threading.local).
+    exempt_globals: set[str] = field(default_factory=set)
+    _line_offsets: list[int] = field(default_factory=list)
+
+    def span_of(self, node: ast.AST) -> Span | None:
+        lineno = getattr(node, "lineno", None)
+        if lineno is None:
+            return None
+        if not self._line_offsets:
+            offset = 0
+            for line in self.source.splitlines(keepends=True):
+                self._line_offsets.append(offset)
+                offset += len(line)
+            self._line_offsets.append(offset)
+        offsets = self._line_offsets
+        start = offsets[min(lineno - 1, len(offsets) - 1)] + node.col_offset
+        end_lineno = getattr(node, "end_lineno", lineno) or lineno
+        end_col = getattr(node, "end_col_offset", node.col_offset + 1)
+        end = offsets[min(end_lineno - 1, len(offsets) - 1)] + (end_col or 0)
+        return Span(start, max(end, start + 1))
+
+
+class LockGraphAnalyzer:
+    """Whole-tree analyzer: collect, then resolve, then report."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, _ModuleInfo] = {}
+        #: (module, class-or-None, attr) → declaration.
+        self.decls: dict[tuple[str, str | None, str], LockDecl] = {}
+        self.functions: dict[FuncId, ast.FunctionDef] = {}
+        self.summaries: dict[FuncId, _FuncSummary] = {}
+        self._closure_memo: dict[FuncId, frozenset[str]] = {}
+        self._exposed_memo: dict[FuncId, frozenset[str]] = {}
+
+    # -- loading ---------------------------------------------------------
+
+    def add_module(self, name: str, path: str, source: str) -> None:
+        tree = ast.parse(source, filename=path)
+        info = _ModuleInfo(name=name, path=path, source=source, tree=tree)
+        self.modules[name] = info
+        self._collect(info)
+
+    def _collect(self, info: _ModuleInfo) -> None:
+        for stmt in info.tree.body:
+            if isinstance(stmt, ast.ImportFrom) and stmt.module:
+                for alias in stmt.names:
+                    info.imports[alias.asname or alias.name] = stmt.module
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    self._classify_global(info, target.id, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    self._classify_global(info, stmt.target.id, stmt.value)
+            elif isinstance(stmt, ast.FunctionDef):
+                self.functions[(info.name, None, stmt.name)] = stmt
+            elif isinstance(stmt, ast.ClassDef):
+                info.classes.add(stmt.name)
+                for item in stmt.body:
+                    if isinstance(item, ast.FunctionDef):
+                        self.functions[(info.name, stmt.name, item.name)] = item
+                        self._collect_attr_decls(info, stmt.name, item)
+
+    def _classify_global(self, info: _ModuleInfo, name: str, value: ast.expr) -> None:
+        decl = self._lock_decl_from(info, None, name, value)
+        if decl is not None:
+            self.decls[(info.name, None, name)] = decl
+            return
+        if isinstance(value, ast.Call):
+            callee = _call_name(value.func)
+            if callee in THREAD_LOCAL_FACTORIES:
+                info.exempt_globals.add(name)
+                return
+            if callee in MUTABLE_FACTORIES:
+                info.mutable_globals.add(name)
+                return
+        if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+            info.mutable_globals.add(name)
+
+    def _collect_attr_decls(
+        self, info: _ModuleInfo, cls: str, func: ast.FunctionDef
+    ) -> None:
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            decl = self._lock_decl_from(info, cls, target.attr, node.value)
+            if decl is not None:
+                self.decls[(info.name, cls, target.attr)] = decl
+
+    def _lock_decl_from(
+        self, info: _ModuleInfo, cls: str | None, attr: str, value: ast.expr
+    ) -> LockDecl | None:
+        if not isinstance(value, ast.Call):
+            return None
+        callee = _call_name(value.func)
+        if callee == "make_lock":
+            name = _str_arg(value, 0, "name")
+            if name is None:
+                name = _default_name(info.name, cls, attr)
+            reentrant = _bool_kwarg(value, "reentrant")
+            return LockDecl(
+                name=name,
+                kind="rlock" if reentrant else "lock",
+                module=info.name,
+                cls=cls,
+                attr=attr,
+            )
+        if callee == "RWLock":
+            name = _str_arg(value, 0, "name")
+            if name is None:
+                name = _default_name(info.name, cls, attr)
+            return LockDecl(
+                name=name, kind="rwlock", module=info.name, cls=cls, attr=attr
+            )
+        if callee in ("Lock", "RLock", "Condition") and _is_threading(value.func):
+            kind = {"Lock": "lock", "RLock": "rlock", "Condition": "condition"}[callee]
+            return LockDecl(
+                name=_default_name(info.name, cls, attr),
+                kind=kind,
+                module=info.name,
+                cls=cls,
+                attr=attr,
+            )
+        if callee in ("tuple", "list") and value.args:
+            inner = value.args[0]
+            if isinstance(inner, ast.GeneratorExp) and isinstance(
+                inner.elt, ast.Call
+            ):
+                elt = self._lock_decl_from(info, cls, attr, inner.elt)
+                if elt is not None:
+                    return LockDecl(
+                        name=elt.name,
+                        kind=elt.kind,
+                        module=info.name,
+                        cls=cls,
+                        attr=attr,
+                        collection=True,
+                    )
+        return None
+
+    # -- resolution ------------------------------------------------------
+
+    def _resolve_instance(
+        self, info: _ModuleInfo, cls: str | None, expr: ast.expr
+    ) -> tuple[str, str] | None:
+        """(module, class) an expression evaluates to, by naming convention."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and cls is not None:
+                return (info.name, cls)
+            hint = TYPE_HINTS.get(expr.id)
+            if hint is not None and hint[0] in self.modules:
+                return hint
+            return None
+        if isinstance(expr, ast.Attribute):
+            hint = TYPE_HINTS.get(expr.attr)
+            if hint is not None and hint[0] in self.modules:
+                return hint
+        return None
+
+    def _resolve_lock(
+        self, info: _ModuleInfo, cls: str | None, expr: ast.expr
+    ) -> tuple[LockDecl, str] | None:
+        """Resolve an expression to (lock declaration, acquisition mode)."""
+        if isinstance(expr, ast.Name):
+            decl = self.decls.get((info.name, None, expr.id))
+            if decl is not None:
+                return (decl, "exclusive")
+            return None
+        if isinstance(expr, ast.Subscript):
+            resolved = self._resolve_lock(info, cls, expr.value)
+            if resolved is not None and resolved[0].collection:
+                return resolved
+            return None
+        if isinstance(expr, ast.Attribute):
+            owner = self._resolve_instance(info, cls, expr.value)
+            if owner is not None:
+                decl = self.decls.get((owner[0], owner[1], expr.attr))
+                if decl is not None:
+                    return (decl, "write" if decl.kind == "rwlock" else "exclusive")
+            return None
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            method = expr.func.attr
+            spec = LOCK_RETURNING_METHODS.get(method)
+            if spec is None:
+                return None
+            attr, mode = spec
+            base = expr.func.value
+            if attr:
+                # catalog.read_lock() → the catalog's rwlock attribute.
+                owner = self._resolve_instance(info, cls, base)
+                if owner is not None:
+                    decl = self.decls.get((owner[0], owner[1], attr))
+                    if decl is not None and decl.kind == "rwlock":
+                        return (decl, mode)
+                return None
+            # rwlock.read() / rwlock.write() on a lock-valued expression.
+            resolved = self._resolve_lock(info, cls, base)
+            if resolved is not None and resolved[0].kind == "rwlock":
+                return (resolved[0], mode)
+            return None
+        return None
+
+    def _resolve_call(
+        self, info: _ModuleInfo, cls: str | None, func: ast.expr
+    ) -> FuncId | None:
+        if isinstance(func, ast.Name):
+            name = func.id
+            fid = (info.name, None, name)
+            if fid in self.functions:
+                return fid
+            target = info.imports.get(name)
+            if target is not None:
+                imported = (target, None, name)
+                if imported in self.functions:
+                    return imported
+                ctor: FuncId = (target, name, "__init__")
+                if ctor in self.functions:
+                    return ctor
+            if name in info.classes:
+                ctor = (info.name, name, "__init__")
+                if ctor in self.functions:
+                    return ctor
+            return None
+        if isinstance(func, ast.Attribute):
+            owner = self._resolve_instance(info, cls, func.value)
+            if owner is not None:
+                fid = (owner[0], owner[1], func.attr)
+                if fid in self.functions:
+                    return fid
+            return None
+        return None
+
+    # -- per-function scan -----------------------------------------------
+
+    def scan(self) -> None:
+        for fid, node in self.functions.items():
+            module, cls, name = fid
+            info = self.modules[module]
+            qual = f"{cls}.{name}" if cls else name
+            summary = _FuncSummary(fid=fid, module=info, qualname=qual)
+            self.summaries[fid] = summary
+            self._scan_block(summary, cls, node.body, (), _global_decls(node))
+
+    def _scan_block(
+        self,
+        summary: _FuncSummary,
+        cls: str | None,
+        block: list[ast.stmt],
+        held: tuple[Held, ...],
+        global_names: frozenset[str],
+    ) -> None:
+        info = summary.module
+        for index, stmt in enumerate(block):
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                new_held = held
+                for item in stmt.items:
+                    resolved = self._resolve_lock(info, cls, item.context_expr)
+                    if resolved is not None:
+                        decl, mode = resolved
+                        summary.acquires.append(
+                            _AcqEvent(decl, mode, item.context_expr, new_held)
+                        )
+                        new_held = new_held + ((decl, mode),)
+                    else:
+                        self._scan_expr(
+                            summary, cls, item.context_expr, new_held, global_names
+                        )
+                self._scan_block(summary, cls, stmt.body, new_held, global_names)
+            elif isinstance(stmt, ast.Try):
+                self._scan_block(summary, cls, stmt.body, held, global_names)
+                for handler in stmt.handlers:
+                    self._scan_block(summary, cls, handler.body, held, global_names)
+                self._scan_block(summary, cls, stmt.orelse, held, global_names)
+                self._scan_block(summary, cls, stmt.finalbody, held, global_names)
+            elif isinstance(stmt, ast.If):
+                self._scan_expr(summary, cls, stmt.test, held, global_names)
+                self._scan_block(summary, cls, stmt.body, held, global_names)
+                self._scan_block(summary, cls, stmt.orelse, held, global_names)
+            elif isinstance(stmt, ast.While):
+                self._scan_expr(summary, cls, stmt.test, held, global_names)
+                self._scan_block(summary, cls, stmt.body, held, global_names)
+                self._scan_block(summary, cls, stmt.orelse, held, global_names)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._scan_expr(summary, cls, stmt.iter, held, global_names)
+                self._scan_block(summary, cls, stmt.body, held, global_names)
+                self._scan_block(summary, cls, stmt.orelse, held, global_names)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested functions execute later (task bodies, hooks):
+                # scan with an empty held stack; their acquisitions still
+                # contribute to this function's transitive closure.
+                self._scan_block(
+                    summary, cls, stmt.body, (), _global_decls(stmt)
+                )
+            else:
+                self._scan_stmt(
+                    summary, cls, stmt, held, global_names, block, index
+                )
+
+    def _scan_stmt(
+        self,
+        summary: _FuncSummary,
+        cls: str | None,
+        stmt: ast.stmt,
+        held: tuple[Held, ...],
+        global_names: frozenset[str],
+        block: list[ast.stmt],
+        index: int,
+    ) -> None:
+        info = summary.module
+        # CC003: a bare `lock.acquire()` expression statement.
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr == "acquire"
+        ):
+            resolved = self._resolve_lock(info, cls, stmt.value.func.value)
+            if resolved is not None:
+                released = self._release_guaranteed(
+                    info, cls, resolved[0], block, index
+                )
+                summary.raw_acquires.append(
+                    _RawAcquire(resolved[0], stmt.value, released)
+                )
+                summary.acquires.append(
+                    _AcqEvent(resolved[0], resolved[1], stmt.value, held)
+                )
+                return
+        # CC004: writes to tracked module globals.
+        if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                var = _global_write_target(target, info, global_names)
+                if var is not None:
+                    summary.global_writes.append(_GlobalWrite(var, stmt, held))
+            self._scan_expr(summary, cls, stmt.value, held, global_names)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._scan_expr(summary, cls, child, held, global_names)
+
+    def _scan_expr(
+        self,
+        summary: _FuncSummary,
+        cls: str | None,
+        expr: ast.expr,
+        held: tuple[Held, ...],
+        global_names: frozenset[str],
+    ) -> None:
+        info = summary.module
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            desc = _io_desc(node)
+            if desc is not None:
+                summary.ios.append(_IOEvent(desc, node, held))
+                continue
+            if isinstance(node.func, ast.Attribute):
+                # Mutating-method writes on tracked globals.
+                base = node.func.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in info.mutable_globals
+                    and node.func.attr in MUTATING_METHODS
+                ):
+                    summary.global_writes.append(
+                        _GlobalWrite(base.id, node, held)
+                    )
+            callee = self._resolve_call(info, cls, node.func)
+            if callee is not None:
+                summary.calls.append(_CallEvent(callee, node, held))
+
+    def _release_guaranteed(
+        self,
+        info: _ModuleInfo,
+        cls: str | None,
+        decl: LockDecl,
+        block: list[ast.stmt],
+        index: int,
+    ) -> bool:
+        """True when a try/finally later in the block releases ``decl``."""
+        for stmt in block[index + 1 :]:
+            if not isinstance(stmt, ast.Try):
+                continue
+            for node in ast.walk(ast.Module(body=stmt.finalbody, type_ignores=[])):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "release"
+                ):
+                    resolved = self._resolve_lock(info, cls, node.func.value)
+                    if resolved is not None and resolved[0].name == decl.name:
+                        return True
+        return False
+
+    # -- interprocedural closures ----------------------------------------
+
+    def acquired_closure(self, fid: FuncId) -> frozenset[str]:
+        """Lock names possibly acquired during ``fid``, transitively."""
+        return self._closure(fid, set())
+
+    def _closure(self, fid: FuncId, active: set[FuncId]) -> frozenset[str]:
+        memo = self._closure_memo.get(fid)
+        if memo is not None:
+            return memo
+        if fid in active:
+            return frozenset()
+        active.add(fid)
+        summary = self.summaries.get(fid)
+        names: set[str] = set()
+        if summary is not None:
+            names.update(event.decl.name for event in summary.acquires)
+            for call in summary.calls:
+                names.update(self._closure(call.callee, active))
+        active.discard(fid)
+        result = frozenset(names)
+        self._closure_memo[fid] = result
+        return result
+
+    def exposed_io(self, fid: FuncId) -> frozenset[str]:
+        """I/O descriptions in ``fid`` not covered by any of its own locks."""
+        return self._exposed(fid, set())
+
+    def _exposed(self, fid: FuncId, active: set[FuncId]) -> frozenset[str]:
+        memo = self._exposed_memo.get(fid)
+        if memo is not None:
+            return memo
+        if fid in active:
+            return frozenset()
+        active.add(fid)
+        summary = self.summaries.get(fid)
+        descs: set[str] = set()
+        if summary is not None:
+            for event in summary.ios:
+                if not event.held:
+                    descs.add(event.desc)
+            for call in summary.calls:
+                if not call.held:
+                    descs.update(self._exposed(call.callee, active))
+        active.discard(fid)
+        result = frozenset(descs)
+        self._exposed_memo[fid] = result
+        return result
+
+    # -- findings --------------------------------------------------------
+
+    def findings(self) -> list[FileFinding]:
+        out: list[FileFinding] = []
+        edges = self._order_edges(out)
+        self._cc001_cycles(edges, out)
+        self._cc002_io(out)
+        self._cc003_raw(out)
+        self._cc004_globals(out)
+        out.sort(key=lambda f: (f.path, f.diagnostic.rule, f.fingerprint))
+        return out
+
+    def _finding(
+        self,
+        rule: str,
+        summary: _FuncSummary,
+        node: ast.AST,
+        message: str,
+        subject_key: str,
+        hint: str | None = None,
+    ) -> FileFinding:
+        info = summary.module
+        diag = Diagnostic(
+            rule=rule,
+            message=message,
+            severity="error",
+            subject=f"{summary.qualname} in {info.name}",
+            span=info.span_of(node),
+            hint=hint,
+        )
+        fingerprint = f"{rule}:{info.path}:{summary.qualname}:{subject_key}"
+        return FileFinding(
+            path=info.path,
+            function=summary.qualname,
+            diagnostic=diag,
+            fingerprint=fingerprint,
+            source=info.source,
+        )
+
+    def _order_edges(
+        self, out: list[FileFinding]
+    ) -> dict[tuple[str, str], list[tuple[_FuncSummary, ast.AST, str]]]:
+        """held → acquired edges; emits self-deadlock findings inline."""
+        edges: dict[tuple[str, str], list[tuple[_FuncSummary, ast.AST, str]]] = {}
+        reported: set[str] = set()
+
+        def add_edge(
+            source: str,
+            target: str,
+            summary: _FuncSummary,
+            node: ast.AST,
+            via: str,
+            reentrant_target: bool,
+        ) -> None:
+            if source == target:
+                if reentrant_target:
+                    return
+                finding = self._finding(
+                    "CC001",
+                    summary,
+                    node,
+                    f"non-reentrant lock '{source}' may be re-acquired "
+                    f"while already held{via}",
+                    f"{source}->{source}",
+                    hint="use make_lock(..., reentrant=True) or restructure "
+                    "so the lock is acquired once",
+                )
+                if finding.fingerprint not in reported:
+                    reported.add(finding.fingerprint)
+                    out.append(finding)
+                return
+            edges.setdefault((source, target), []).append((summary, node, via))
+
+        for summary in self.summaries.values():
+            for event in summary.acquires:
+                for decl, _mode in event.held:
+                    add_edge(
+                        decl.name,
+                        event.decl.name,
+                        summary,
+                        event.node,
+                        "",
+                        event.decl.reentrant,
+                    )
+            for call in summary.calls:
+                if not call.held:
+                    continue
+                for name in self.acquired_closure(call.callee):
+                    reentrant = any(
+                        d.name == name and d.reentrant
+                        for d in self.decls.values()
+                    )
+                    for decl, _mode in call.held:
+                        add_edge(
+                            decl.name,
+                            name,
+                            summary,
+                            call.node,
+                            f" (via call to {call.callee[2]})",
+                            reentrant,
+                        )
+        return edges
+
+    def _cc001_cycles(
+        self,
+        edges: dict[tuple[str, str], list[tuple[_FuncSummary, ast.AST, str]]],
+        out: list[FileFinding],
+    ) -> None:
+        graph: dict[str, set[str]] = {}
+        for source, target in edges:
+            graph.setdefault(source, set()).add(target)
+            graph.setdefault(target, set())
+        component = _tarjan_components(graph)
+        reported: set[str] = set()
+        for (source, target), sites in edges.items():
+            if component[source] != component[target]:
+                continue
+            for summary, node, via in sites:
+                finding = self._finding(
+                    "CC001",
+                    summary,
+                    node,
+                    f"lock-order cycle: acquiring '{target}' while holding "
+                    f"'{source}'{via} participates in a cycle "
+                    f"({source} -> {target} -> ... -> {source})",
+                    f"{source}->{target}",
+                    hint="pick one global order for these locks and acquire "
+                    "in that order everywhere",
+                )
+                if finding.fingerprint not in reported:
+                    reported.add(finding.fingerprint)
+                    out.append(finding)
+
+    def _cc002_io(self, out: list[FileFinding]) -> None:
+        reported: set[str] = set()
+
+        def report(
+            summary: _FuncSummary, node: ast.AST, lock: str, desc: str, via: str
+        ) -> None:
+            finding = self._finding(
+                "CC002",
+                summary,
+                node,
+                f"simulated I/O ({desc}) while holding lock '{lock}'{via}",
+                f"{lock}:{desc}",
+                hint="move the I/O outside the lock, or record the "
+                "exception in the baseline with a justification",
+            )
+            if finding.fingerprint not in reported:
+                reported.add(finding.fingerprint)
+                out.append(finding)
+
+        for summary in self.summaries.values():
+            for event in summary.ios:
+                if event.held:
+                    innermost = event.held[-1][0].name
+                    report(summary, event.node, innermost, event.desc, "")
+            for call in summary.calls:
+                if not call.held:
+                    continue
+                innermost = call.held[-1][0].name
+                for desc in self.exposed_io(call.callee):
+                    report(
+                        summary,
+                        call.node,
+                        innermost,
+                        desc,
+                        f" (via call to {call.callee[2]})",
+                    )
+
+    def _cc003_raw(self, out: list[FileFinding]) -> None:
+        for summary in self.summaries.values():
+            for raw in summary.raw_acquires:
+                if raw.released_in_finally:
+                    continue
+                out.append(
+                    self._finding(
+                        "CC003",
+                        summary,
+                        raw.node,
+                        f"raw acquire of '{raw.decl.name}' without a "
+                        "try/finally release in the same block",
+                        raw.decl.name,
+                        hint="prefer `with lock:`; cross-function "
+                        "release protocols belong in the baseline",
+                    )
+                )
+
+    def _cc004_globals(self, out: list[FileFinding]) -> None:
+        reported: set[str] = set()
+        for summary in self.summaries.values():
+            info = summary.module
+            for write in summary.global_writes:
+                if write.var in info.exempt_globals:
+                    continue
+                if write.held:
+                    continue
+                finding = self._finding(
+                    "CC004",
+                    summary,
+                    write.node,
+                    f"module-level mutable '{write.var}' written without "
+                    "a recognized lock held",
+                    write.var,
+                    hint="guard the write with a make_lock(...) lock, or "
+                    "make the state per-thread (threading.local/ContextVar)",
+                )
+                if finding.fingerprint not in reported:
+                    reported.add(finding.fingerprint)
+                    out.append(finding)
+
+
+# -- helpers -------------------------------------------------------------
+
+
+def _call_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_threading(func: ast.expr) -> bool:
+    if isinstance(func, ast.Attribute):
+        return isinstance(func.value, ast.Name) and func.value.id == "threading"
+    return isinstance(func, ast.Name)
+
+
+def _str_arg(call: ast.Call, position: int, keyword: str) -> str | None:
+    for kw in call.keywords:
+        if kw.arg == keyword and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                return kw.value.value
+    if len(call.args) > position:
+        arg = call.args[position]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None
+
+
+def _bool_kwarg(call: ast.Call, keyword: str) -> bool:
+    for kw in call.keywords:
+        if kw.arg == keyword and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+def _default_name(module: str, cls: str | None, attr: str) -> str:
+    short = module.rsplit(".", 1)[-1]
+    owner = f"{short}.{cls}" if cls else short
+    return f"{owner}.{attr.lstrip('_')}"
+
+
+def _global_decls(func: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+    names: set[str] = set()
+    for stmt in func.body:
+        if isinstance(stmt, ast.Global):
+            names.update(stmt.names)
+    return frozenset(names)
+
+
+def _global_write_target(
+    target: ast.expr, info: _ModuleInfo, global_names: frozenset[str]
+) -> str | None:
+    if isinstance(target, ast.Name):
+        if target.id in global_names and (
+            target.id in info.mutable_globals
+            or target.id in info.exempt_globals
+        ):
+            return target.id if target.id not in info.exempt_globals else None
+        return None
+    if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+        if target.value.id in info.mutable_globals:
+            return target.value.id
+    if isinstance(target, ast.Tuple):
+        for element in target.elts:
+            found = _global_write_target(element, info, global_names)
+            if found is not None:
+                return found
+    return None
+
+
+def _io_desc(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "open"
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name):
+            if func.value.id == "time" and func.attr == "sleep":
+                return "time.sleep"
+            if func.value.id == "os" and func.attr == "fsync":
+                return "os.fsync"
+        if func.attr in ("read_bytes", "write_bytes"):
+            return f".{func.attr}"
+    return None
+
+
+def _tarjan_components(graph: dict[str, set[str]]) -> dict[str, int]:
+    """Strongly connected components, iteratively (no recursion limit)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    component: dict[str, int] = {}
+    counter = 0
+    comp_id = 0
+
+    for root in graph:
+        if root in index:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [(root, iter(graph[root]))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = comp_id
+                    if member == node:
+                        break
+                comp_id += 1
+    return component
+
+
+# -- entry points --------------------------------------------------------
+
+
+def _module_name(path: Path, src_root: Path | None) -> str:
+    if src_root is not None:
+        try:
+            relative = path.resolve().relative_to(src_root.resolve())
+        except ValueError:
+            return path.stem
+        parts = list(relative.with_suffix("").parts)
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts) if parts else path.stem
+    return path.stem
+
+
+def _display_path(path: Path, src_root: Path | None) -> str:
+    if src_root is not None:
+        try:
+            return str(path.resolve().relative_to(src_root.resolve()))
+        except ValueError:
+            pass
+    return str(path)
+
+
+def analyze_paths(
+    paths: list[Path], src_root: Path | None = None
+) -> list[FileFinding]:
+    """Analyze an explicit set of Python files as one program."""
+    analyzer = LockGraphAnalyzer()
+    for path in sorted(paths):
+        analyzer.add_module(
+            _module_name(path, src_root),
+            _display_path(path, src_root),
+            path.read_text(),
+        )
+    analyzer.scan()
+    return analyzer.findings()
+
+
+def analyze_tree(
+    root: Path | None = None,
+    src_root: Path | None = None,
+    exclude: tuple[str, ...] = ("fixtures",),
+) -> list[FileFinding]:
+    """Analyze a package tree (default: the installed ``repro`` package)."""
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        src_root = root.parent
+    if src_root is None:
+        src_root = root.parent
+    paths = [
+        path
+        for path in root.rglob("*.py")
+        if not any(part in exclude for part in path.parts)
+    ]
+    return analyze_paths(paths, src_root=src_root)

@@ -1,0 +1,110 @@
+"""The lock model the static lint reasons over.
+
+A *lock declaration* is a place in the source that creates a lock-like
+object: a ``make_lock("name")`` call (the canonical factory from
+:mod:`repro.storage.locks`), an ``RWLock(name=...)`` construction, or a
+bare ``threading.Lock()`` / ``RLock()`` / ``Condition()``.  Every
+declaration gets a stable dotted *lock name* — the same name the
+runtime witness sees — so static findings and runtime violations speak
+the same vocabulary ("buffer.pool", "txn.commit", "catalog.rwlock").
+
+Because the lint is AST-based and the codebase passes collaborators
+positionally, attribute *names* stand in for types: ``self.disk`` is a
+``DiskManager`` wherever it appears.  :data:`TYPE_HINTS` is that
+curated attribute → class table; it is how the interprocedural pass
+resolves ``self.wal.flush()`` to ``WriteAheadLog.flush`` without a
+type checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Lock kinds, in order of how much reentrancy they permit.
+LOCK_KINDS = ("lock", "rlock", "condition", "rwlock")
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """One lock-creating site in the analyzed source.
+
+    Attributes:
+        name: stable dotted lock name (shared with the runtime witness).
+        kind: ``"lock"``, ``"rlock"``, ``"condition"``, or ``"rwlock"``.
+        module: dotted module the declaration lives in.
+        cls: class name for ``self.attr`` declarations, None for
+            module-level lock globals.
+        attr: the attribute or global variable name bound to the lock.
+        collection: True for a tuple/list of striped locks sharing one
+            name (``self._stripes``); acquisition happens via
+            subscription.
+    """
+
+    name: str
+    kind: str
+    module: str
+    cls: str | None
+    attr: str
+    collection: bool = False
+
+    @property
+    def reentrant(self) -> bool:
+        """Whether same-thread re-acquisition is safe.
+
+        ``threading.Condition`` wraps an RLock by default, and our
+        RWLock's read/write sides are reentrant per thread.
+        """
+        return self.kind in ("rlock", "condition", "rwlock")
+
+
+#: Attribute (or parameter) name → (module, class) the value holds.
+#: The codebase is consistent about these names, which is what lets a
+#: name-based table substitute for type inference.
+TYPE_HINTS: dict[str, tuple[str, str]] = {
+    "buffer": ("repro.storage.buffer", "BufferPool"),
+    "disk": ("repro.storage.disk", "DiskManager"),
+    "wal": ("repro.txn.wal", "WriteAheadLog"),
+    "snapshots": ("repro.txn.mvcc", "SnapshotManager"),
+    "heap": ("repro.storage.heap", "HeapFile"),
+    "catalog": ("repro.catalog.catalog", "Catalog"),
+    "manager": ("repro.txn.txn", "TransactionManager"),
+    "rwlock": ("repro.storage.locks", "RWLock"),
+    "txn": ("repro.txn.txn", "Transaction"),
+}
+
+#: Methods that *return* a lock (context manager) for some class:
+#: method name → (attribute holding the lock on that class, mode).
+LOCK_RETURNING_METHODS: dict[str, tuple[str, str]] = {
+    "read_lock": ("rwlock", "read"),
+    "write_lock": ("rwlock", "write"),
+    "read": ("", "read"),
+    "write": ("", "write"),
+}
+
+#: Call/constructor names whose module-level assignment creates shared
+#: mutable state the CC004 rule tracks.
+MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "bytearray", "OrderedDict", "defaultdict", "deque", "Counter"}
+)
+
+#: Module-level values exempt from CC004: per-thread or per-context by
+#: construction, so unsynchronized writes are fine.
+THREAD_LOCAL_FACTORIES = frozenset({"local", "ContextVar"})
+
+#: Mutating method names on tracked globals that count as writes.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "clear",
+        "setdefault",
+        "appendleft",
+    }
+)

@@ -9,7 +9,6 @@ after the final join.
 
 from __future__ import annotations
 
-import threading
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
@@ -17,7 +16,7 @@ from repro.catalog.schema import TableSchema
 from repro.errors import CatalogError
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import HeapFile
-from repro.storage.locks import RWLock
+from repro.storage.locks import RWLock, make_lock
 from repro.txn.mvcc import SnapshotManager
 
 #: Change events that alter what plans are *valid*: shapes, access
@@ -62,7 +61,7 @@ class Catalog:
         self.buffer = buffer
         self._tables: dict[str, TableEntry] = {}
         self._temp_counter = 0
-        self._temp_lock = threading.Lock()
+        self._temp_lock = make_lock("catalog.temp_names")
         #: Populated by repro.catalog.statistics.analyze_table.
         self.statistics: dict[str, "object"] = {}
         #: (table, column) → IsamIndex, via create_index().
@@ -83,7 +82,7 @@ class Catalog:
         #: Reader-writer lock for the serving layer: worker threads
         #: executing cached plans hold the (re-entrant) read side; DDL
         #: and inserts take the write side.
-        self.rwlock = RWLock()
+        self.rwlock = RWLock(name="catalog.rwlock")
 
     # -- change tracking -------------------------------------------------
 

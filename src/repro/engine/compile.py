@@ -36,11 +36,11 @@ import operator
 from collections.abc import Callable, Sequence
 from contextlib import contextmanager
 
-import threading
 
 from repro.engine.params import param_value
 from repro.engine.schema import RowSchema
 from repro.errors import BindError, ExecutionError
+from repro.storage.locks import make_lock
 from repro.sql.ast import (
     And,
     Between,
@@ -373,7 +373,7 @@ def _predicate(expr: Expr, chain: tuple[RowSchema, ...]) -> CompiledFn:
 # memo is what lets a cached plan skip recompilation on replay.
 
 _MEMO_CAPACITY = 4096
-_memo_lock = threading.Lock()
+_memo_lock = make_lock("engine.compile_memo")
 #: key → CompiledFn, or the CannotCompile sentinel below.
 _memo: dict[tuple, object] = {}
 _CANNOT = object()

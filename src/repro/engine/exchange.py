@@ -47,13 +47,15 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from repro.storage.locks import make_lock
+
 __all__ = ["POOL_MAX_WORKERS", "run_tasks", "shutdown_pool"]
 
 #: Hard cap on exchange worker threads for the whole process.
 POOL_MAX_WORKERS = 16
 
 _pool: ThreadPoolExecutor | None = None
-_pool_lock = threading.Lock()
+_pool_lock = make_lock("exchange.pool")
 _local = threading.local()
 
 

@@ -50,6 +50,7 @@ from repro.sql.ast import (
     conjuncts,
 )
 from repro.sql.printer import to_sql
+from repro.storage.locks import make_lock
 
 
 @dataclass
@@ -144,7 +145,7 @@ class NestedIterationExecutor(SubqueryHandler):
         # result, plus the per-query list of referenced outer columns.
         self._outer_ref_plans: dict[int, object] = {}
         self._corr_memo: dict[tuple, object] = {}
-        self._cache_lock = threading.Lock()
+        self._cache_lock = make_lock("engine.subquery_memo")
 
     def _single_flight(self, cache: dict, key, compute):
         """Return ``cache[key]``, computing it exactly once.

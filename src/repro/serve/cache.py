@@ -25,11 +25,11 @@ All operations are lock-protected; worker threads share one cache.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog, event_class
+from repro.storage.locks import make_lock
 from repro.serve.plan import CachedPlan
 
 #: Default maximum number of cached plans.
@@ -74,7 +74,7 @@ class PlanCache:
             raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.plan_cache")
         self.hits = 0
         self.misses = 0
         self.invalidations = 0

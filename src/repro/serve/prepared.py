@@ -28,7 +28,6 @@ Statements are safe to execute from multiple threads concurrently.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 
@@ -40,6 +39,7 @@ from repro.serve.plan import CachedPlan, NonCacheablePlan, build_plan
 from repro.serve.session import SessionCatalog
 from repro.sql.ast import Parameter, Select, walk
 from repro.sql.parser import parse
+from repro.storage.locks import make_lock
 
 #: Custom-plan (per-vector) cache bound per statement.
 _CUSTOM_PLAN_CAP = 16
@@ -59,7 +59,7 @@ class PreparedStatement:
             if isinstance(node, Parameter) and node.name:
                 self.named_params[node.name] = node.index
         self.fingerprint = fingerprint(self.select)
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.prepared")
         self._plan: CachedPlan | None = None
         self._custom: OrderedDict[tuple, CachedPlan] = OrderedDict()
         self._specs_version: int | None = None

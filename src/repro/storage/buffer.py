@@ -31,11 +31,11 @@ could race with another thread's eviction).
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 
 from repro.errors import StorageError
 from repro.storage.disk import DiskManager
+from repro.storage.locks import make_lock
 from repro.storage.page import PAGE_CAPACITY_DEFAULT, Page
 from repro.storage.stats import IOStats
 
@@ -74,8 +74,10 @@ class BufferPool:
         self._lru: OrderedDict[int, None] = OrderedDict()
         self._pinned: set[int] = set()
         self.hits = 0
-        self._lock = threading.RLock()
-        self._stripes = tuple(threading.Lock() for _ in range(stripes))
+        self._lock = make_lock("buffer.pool", reentrant=True)
+        self._stripes = tuple(
+            make_lock("buffer.stripe") for _ in range(stripes)
+        )
 
     # -- page access ---------------------------------------------------------
 

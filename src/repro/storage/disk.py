@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import threading
 import time
 
 from repro.errors import StorageError
+from repro.storage.locks import make_lock
 from repro.storage.page import PAGE_CAPACITY_DEFAULT, Page
 from repro.storage.stats import IOStats
 
@@ -37,7 +37,7 @@ class DiskManager:
         self.page_reads = 0
         self.page_writes = 0
         self.io_delay = io_delay
-        self._lock = threading.Lock()
+        self._lock = make_lock("disk")
 
     # -- allocation ----------------------------------------------------------
 

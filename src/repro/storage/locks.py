@@ -3,13 +3,82 @@
 Lives in :mod:`repro.storage` (the dependency-free bottom layer) so the
 catalog, buffer pool, and serving layer can all use it without import
 cycles.
+
+Every recognized lock in the engine is created through
+:func:`make_lock`, which normally returns a plain
+``threading.Lock``/``RLock`` — zero overhead — but returns an
+instrumented proxy when the runtime lock witness
+(:mod:`repro.analysis.concurrency.witness`) is active: either because
+``REPRO_WITNESS=1`` was set in the environment, or because a test
+called ``witness.enable()`` before the lock was created.  The stable
+names passed to :func:`make_lock` are also what the static lock-order
+lint keys its acquisition graph on, so the two analyses agree on what
+a "lock" is.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections.abc import Iterator
 from contextlib import contextmanager
+from typing import Any, Callable, Protocol
+
+
+class _RWLockHook(Protocol):
+    """What the lock witness implements for RWLock notifications."""
+
+    def before_acquire(
+        self, name: str, obj_id: int, mode: str, reentrant: bool
+    ) -> None: ...
+
+    def after_acquire(
+        self, name: str, obj_id: int, mode: str, reentrant: bool
+    ) -> None: ...
+
+    def after_release(self, name: str, obj_id: int, mode: str) -> None: ...
+
+
+#: Installed by the witness at enable time; None = uninstrumented.
+_lock_factory: Callable[[str, bool], Any] | None = None
+_rwlock_hook: _RWLockHook | None = None
+_env_checked = False
+
+
+def set_lock_factory(factory: Callable[[str, bool], Any] | None) -> None:
+    """Install (or remove) the witness's lock constructor."""
+    global _lock_factory
+    _lock_factory = factory
+
+
+def set_rwlock_hook(hook: _RWLockHook | None) -> None:
+    """Install (or remove) the witness's RWLock transition hook."""
+    global _rwlock_hook
+    _rwlock_hook = hook
+
+
+def _maybe_enable_from_env() -> None:
+    global _env_checked
+    if _env_checked:
+        return
+    _env_checked = True
+    if os.environ.get("REPRO_WITNESS"):
+        from repro.analysis.concurrency.witness import witness
+
+        witness.enable()
+
+
+def make_lock(name: str, *, reentrant: bool = False) -> Any:
+    """A named mutex: plain, or witness-wrapped when witnessing is on.
+
+    ``name`` is a stable dotted identifier (``"buffer.pool"``,
+    ``"txn.commit"``) shared by all instances of the same lock class;
+    the witness's order graph and its diagnostics use it.
+    """
+    _maybe_enable_from_env()
+    if _lock_factory is not None:
+        return _lock_factory(name, reentrant)
+    return threading.RLock() if reentrant else threading.Lock()
 
 
 class RWLock:
@@ -25,7 +94,8 @@ class RWLock:
       overlapping readers cannot starve DDL forever.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "rwlock") -> None:
+        self.name = name
         self._cond = threading.Condition()
         #: thread ident → read-entry count (re-entrancy bookkeeping).
         self._readers: dict[int, int] = {}
@@ -36,6 +106,9 @@ class RWLock:
     # -- read side -----------------------------------------------------------
 
     def acquire_read(self) -> None:
+        hook = _rwlock_hook
+        if hook is not None:
+            hook.before_acquire(self.name, id(self), "read", True)
         me = threading.get_ident()
         with self._cond:
             while True:
@@ -47,6 +120,8 @@ class RWLock:
                     break
                 self._cond.wait()
             self._readers[me] = self._readers.get(me, 0) + 1
+        if hook is not None:
+            hook.after_acquire(self.name, id(self), "read", True)
 
     def release_read(self) -> None:
         me = threading.get_ident()
@@ -59,6 +134,8 @@ class RWLock:
                 self._cond.notify_all()
             else:
                 self._readers[me] = count - 1
+        if _rwlock_hook is not None:
+            _rwlock_hook.after_release(self.name, id(self), "read")
 
     @contextmanager
     def read(self) -> Iterator[None]:
@@ -71,21 +148,26 @@ class RWLock:
     # -- write side ----------------------------------------------------------
 
     def acquire_write(self) -> None:
+        hook = _rwlock_hook
+        if hook is not None:
+            hook.before_acquire(self.name, id(self), "write", True)
         me = threading.get_ident()
         with self._cond:
             if self._writer == me:
                 self._writer_depth += 1
-                return
-            self._waiting_writers += 1
-            try:
-                while self._writer is not None or any(
-                    ident != me for ident in self._readers
-                ):
-                    self._cond.wait()
-            finally:
-                self._waiting_writers -= 1
-            self._writer = me
-            self._writer_depth = 1
+            else:
+                self._waiting_writers += 1
+                try:
+                    while self._writer is not None or any(
+                        ident != me for ident in self._readers
+                    ):
+                        self._cond.wait()
+                finally:
+                    self._waiting_writers -= 1
+                self._writer = me
+                self._writer_depth = 1
+        if hook is not None:
+            hook.after_acquire(self.name, id(self), "write", True)
 
     def release_write(self) -> None:
         me = threading.get_ident()
@@ -96,6 +178,8 @@ class RWLock:
             if self._writer_depth == 0:
                 self._writer = None
                 self._cond.notify_all()
+        if _rwlock_hook is not None:
+            _rwlock_hook.after_release(self.name, id(self), "write")
 
     @contextmanager
     def write(self) -> Iterator[None]:

@@ -1,0 +1,141 @@
+"""Always-on transaction invariant monitors (the TX rules).
+
+Where the CC rules are *static* — they read the source — the TX rules
+are cheap runtime assertions wired into the write path itself, checking
+the contracts the recovery design depends on:
+
+* **TX001** — WAL LSNs are strictly increasing per log.  LSN = byte
+  offset, so a regression means staged records were reordered or the
+  flushed counter went backwards; replay would truncate good records.
+* **TX002** — durability before visibility: at the moment a commit
+  publishes its snapshot, the WAL must have no staged-unflushed
+  records.  Writers are serialized by the commit lock, so anything
+  pending at publish time belongs to the committing transaction — and
+  a crash right after the publish would lose a transaction that
+  readers already observed.
+* **TX003** — a ``publish()`` advances ``data_version`` by exactly one
+  and never shrinks a horizon; ``register_table``/``forget_table``
+  keep the version unchanged.  Horizons shrinking would un-commit rows
+  under a pinned reader's feet.
+* **TX004** — published snapshots are immutable: the horizon map of
+  the current snapshot must be bit-identical (fingerprint) between the
+  swap that installed it and the next swap.  Mutation in place would
+  change what an already-pinned reader sees mid-query.
+
+Violations raise :class:`TxnInvariantError`, a :class:`ReproError`
+carrying a :class:`~repro.analysis.diagnostics.Diagnostic` with the
+stable TX rule id — the same machinery the static analyses use, so CI
+output looks identical across both layers.
+
+This module is imported by :mod:`repro.txn.wal` and
+:mod:`repro.txn.mvcc`; it must not import either (it sees their
+objects duck-typed) to keep the dependency graph acyclic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.diagnostics import Diagnostic
+    from repro.txn.mvcc import Snapshot
+
+
+class TxnInvariantError(ReproError):
+    """A transaction-layer invariant was violated at runtime."""
+
+    def __init__(self, diagnostic: "Diagnostic") -> None:
+        super().__init__(f"[{diagnostic.rule}] {diagnostic.message}")
+        self.diagnostic = diagnostic
+
+
+def _violation(rule: str, message: str, hint: str | None = None) -> TxnInvariantError:
+    # Imported lazily: repro.analysis pulls in the catalog, which pulls
+    # in repro.txn.mvcc — a module-level import here would be circular.
+    from repro.analysis.diagnostics import Diagnostic
+
+    return TxnInvariantError(
+        Diagnostic(rule=rule, message=message, severity="error", hint=hint)
+    )
+
+
+def check_lsn_monotonic(last_lsn: int, lsn: int) -> None:
+    """TX001: a freshly appended record's LSN must exceed the previous."""
+    if lsn <= last_lsn:
+        raise _violation(
+            "TX001",
+            f"WAL LSN regressed: appended lsn {lsn} after {last_lsn} "
+            "(LSN = byte offset must be strictly increasing)",
+            hint="staged records were reordered or _flushed moved backwards",
+        )
+
+
+def check_flush_before_publish(pending_records: int) -> None:
+    """TX002: nothing may be staged-unflushed when a commit publishes."""
+    if pending_records:
+        raise _violation(
+            "TX002",
+            f"commit published its snapshot with {pending_records} WAL "
+            "record(s) staged but not flushed — visibility preceded "
+            "durability",
+            hint="call wal.flush() (the durability point) before "
+            "snapshots.publish() (the visibility point)",
+        )
+
+
+def check_publish(previous: "Snapshot", published: "Snapshot") -> None:
+    """TX003: one commit advances the version by one, horizons only grow."""
+    if published.data_version != previous.data_version + 1:
+        raise _violation(
+            "TX003",
+            f"publish moved data_version {previous.data_version} -> "
+            f"{published.data_version}; commits must advance it by "
+            "exactly one",
+        )
+    before = previous.tables()
+    after = published.tables()
+    for name, horizon in before.items():
+        if name in after and after[name] < horizon:
+            raise _violation(
+                "TX003",
+                f"publish shrank the horizon of '{name}' from {horizon} "
+                f"to {after[name]}; committed rows would disappear under "
+                "pinned readers",
+            )
+
+
+def check_version_kept(previous: "Snapshot", swapped: "Snapshot") -> None:
+    """TX003 (register/forget): the commit timestamp must not move."""
+    if swapped.data_version != previous.data_version:
+        raise _violation(
+            "TX003",
+            f"register/forget changed data_version "
+            f"{previous.data_version} -> {swapped.data_version}; only "
+            "publish() may advance the commit timestamp",
+        )
+
+
+def fingerprint_horizons(horizons: Mapping[str, int]) -> tuple[tuple[str, int], ...]:
+    """A hashable, order-independent fingerprint of a horizon map."""
+    return tuple(sorted(horizons.items()))
+
+
+def check_snapshot_unchanged(
+    expected: tuple[tuple[str, int], ...] | None,
+    current: "Snapshot",
+) -> None:
+    """TX004: the installed snapshot must not have mutated since its swap."""
+    if expected is None:
+        return
+    actual = fingerprint_horizons(current.tables())
+    if actual != expected:
+        raise _violation(
+            "TX004",
+            f"snapshot v{current.data_version} mutated in place since it "
+            "was published (horizon map changed without a swap); pinned "
+            "readers are seeing a moving state",
+            hint="snapshots are immutable; build a new Snapshot and swap",
+        )

@@ -29,11 +29,12 @@ everything else stays at the begin snapshot.
 
 from __future__ import annotations
 
-import threading
 from collections.abc import Iterator, Mapping
 from contextlib import contextmanager
 
 from repro.storage import visibility
+from repro.storage.locks import make_lock
+from repro.txn import monitors
 
 
 class Snapshot:
@@ -94,9 +95,13 @@ class SnapshotManager:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("txn.snapshots")
         self._current = Snapshot(0, {})
         self._active_pins = 0
+        # TX004: fingerprint of the current snapshot's horizon map,
+        # taken at the swap that installed it; re-checked at the next
+        # swap to prove no one mutated the "immutable" snapshot.
+        self._installed_fp = monitors.fingerprint_horizons({})
 
     # -- state -----------------------------------------------------------
 
@@ -125,16 +130,24 @@ class SnapshotManager:
         keep their (table-less, hence unrestricted-but-irrelevant) map.
         """
         with self._lock:
+            monitors.check_snapshot_unchanged(self._installed_fp, self._current)
             horizons = self._current.tables()
             horizons[name] = rows
-            self._current = Snapshot(self._current.data_version, horizons)
+            swapped = Snapshot(self._current.data_version, horizons)
+            monitors.check_version_kept(self._current, swapped)
+            self._current = swapped
+            self._installed_fp = monitors.fingerprint_horizons(horizons)
 
     def forget_table(self, name: str) -> None:
         """Stop tracking a dropped table."""
         with self._lock:
+            monitors.check_snapshot_unchanged(self._installed_fp, self._current)
             horizons = self._current.tables()
             horizons.pop(name, None)
-            self._current = Snapshot(self._current.data_version, horizons)
+            swapped = Snapshot(self._current.data_version, horizons)
+            monitors.check_version_kept(self._current, swapped)
+            self._current = swapped
+            self._installed_fp = monitors.fingerprint_horizons(horizons)
 
     def publish(self, updates: Mapping[str, int]) -> Snapshot:
         """Commit: advance the timestamp with new horizons, atomically.
@@ -143,10 +156,13 @@ class SnapshotManager:
         reader pins either the whole commit or none of it.
         """
         with self._lock:
+            monitors.check_snapshot_unchanged(self._installed_fp, self._current)
             horizons = self._current.tables()
             horizons.update(updates)
             published = Snapshot(self._current.data_version + 1, horizons)
+            monitors.check_publish(self._current, published)
             self._current = published
+            self._installed_fp = monitors.fingerprint_horizons(horizons)
             return published
 
     # -- pinning ---------------------------------------------------------

@@ -35,12 +35,13 @@ writes.
 from __future__ import annotations
 
 import os
-import threading
 from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import ReproError
+from repro.storage.locks import make_lock
+from repro.txn import monitors
 from repro.txn.mvcc import TransactionSnapshot
 from repro.txn.wal import WalError, WriteAheadLog, read_records
 
@@ -137,7 +138,7 @@ class Transaction:
         if not self._write_order:
             # Read-only transaction: nothing to log or publish.
             self.state = "committed"
-            self.manager.note_commit()
+            self.manager.note_commit(read_only=True)
             return
         catalog = self.manager.catalog
         horizons = {
@@ -153,27 +154,43 @@ class Transaction:
             # conclude.
             self.rollback()
             raise
-        # ISAM indexes are static structures rebuilt on write; probes
-        # always see latest-committed (documented limitation), so the
-        # rebuild happens under the exclusive catalog lock.
-        indexed = [
-            name
-            for name in self._write_order
-            if any(key[0] == name for key in catalog.indexes)
-        ]
-        if indexed:
-            with catalog.write_lock():
-                for (tbl, _col), index in catalog.indexes.items():
-                    if tbl in indexed:
-                        index.build()
-        # Visibility point: one atomic swap covers every written table.
-        catalog.snapshots.publish(horizons)
-        for name in self._write_order:
-            if not catalog.get(name).is_temp:
-                catalog.bump_version("insert", name)
-        self.state = "committed"
-        self.manager.note_commit()
-        self._release_write_lock()
+        # The commit record is durable: from here the transaction IS
+        # committed (a crash-then-replay would reapply it), so whatever
+        # the post-durability steps do, the transaction must end up
+        # committed with the commit lock released.  Without the
+        # try/finally, an index-rebuild or publish failure leaked the
+        # commit lock and wedged every later writer (CC003 finding).
+        try:
+            # ISAM indexes are static structures rebuilt on write;
+            # probes always see latest-committed (documented
+            # limitation), so the rebuild happens under the exclusive
+            # catalog lock.
+            indexed = [
+                name
+                for name in self._write_order
+                if any(key[0] == name for key in catalog.indexes)
+            ]
+            if indexed:
+                with catalog.write_lock():
+                    for (tbl, _col), index in catalog.indexes.items():
+                        if tbl in indexed:
+                            index.build()
+            # TX002: durability before visibility — nothing may still
+            # be staged when the snapshot swap makes the rows visible.
+            if not self.manager.suppressed:
+                monitors.check_flush_before_publish(
+                    self.manager.wal.pending_records
+                )
+            # Visibility point: one atomic swap covers every written
+            # table.
+            catalog.snapshots.publish(horizons)
+            for name in self._write_order:
+                if not catalog.get(name).is_temp:
+                    catalog.bump_version("insert", name)
+        finally:
+            self.state = "committed"
+            self.manager.note_commit()
+            self._release_write_lock()
 
     def rollback(self) -> None:
         """Undo every write: trim heap tails back to the pre-counts."""
@@ -235,8 +252,12 @@ class TransactionManager:
         self.catalog = catalog
         self.wal = wal if wal is not None else WriteAheadLog()
         #: Serializes writers (acquired at a transaction's first write).
-        self.commit_lock = threading.Lock()
-        self._txid_lock = threading.Lock()
+        self.commit_lock = make_lock("txn.commit")
+        self._txid_lock = make_lock("txn.txid")
+        # Guards the outcome counters: read-only commits bump them
+        # without holding the commit lock, so concurrent readers and a
+        # writer can race on the increments (a CC004-style lost update).
+        self._stats_lock = make_lock("txn.stats")
         self._next_txid = 1
         self.commits = 0
         self.aborts = 0
@@ -283,11 +304,15 @@ class TransactionManager:
             self.wal.append(event, self.next_txid(), **payload)
             self.wal.flush()
 
-    def note_commit(self) -> None:
-        self.commits += 1
+    def note_commit(self, read_only: bool = False) -> None:
+        with self._stats_lock:
+            self.commits += 1
+            if read_only:
+                self.read_only_commits += 1
 
     def note_abort(self, wrote: bool = True) -> None:
-        self.aborts += 1
+        with self._stats_lock:
+            self.aborts += 1
 
     def describe(self) -> str:
         snaps = self.catalog.snapshots

@@ -34,12 +34,13 @@ import json
 import os
 import pathlib
 import struct
-import threading
 import zlib
 from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ReproError
+from repro.storage.locks import make_lock
+from repro.txn import monitors
 
 _HEADER = struct.Struct("<II")
 
@@ -136,7 +137,7 @@ class WriteAheadLog:
 
     def __init__(self, path: str | os.PathLike | None = None) -> None:
         self.path = pathlib.Path(path) if path is not None else None
-        self._lock = threading.Lock()
+        self._lock = make_lock("wal")
         self._pending: list[bytes] = []
         self._crash_after: int | None = None
         self.flush_count = 0
@@ -159,6 +160,7 @@ class WriteAheadLog:
             self._memory = bytearray()
             self._flushed = 0
             self._last_lsn = -1
+        self._last_durable_lsn = self._last_lsn
 
     # -- writing ---------------------------------------------------------
 
@@ -178,6 +180,7 @@ class WriteAheadLog:
             body["txid"] = txid
             encoded = _encode(body)
             lsn = self._flushed + sum(len(b) for b in self._pending)
+            monitors.check_lsn_monotonic(self._last_lsn, lsn)
             self._pending.append(encoded)
             self._last_lsn = lsn
             return lsn
@@ -197,6 +200,7 @@ class WriteAheadLog:
                     os.fsync(handle.fileno())
             self._flushed += len(blob)
             self._pending.clear()
+            self._last_durable_lsn = self._last_lsn
             self.flush_count += 1
 
     def discard_pending(self) -> int:
@@ -209,6 +213,11 @@ class WriteAheadLog:
         with self._lock:
             dropped = len(self._pending)
             self._pending.clear()
+            # Rewind to the last *durable* record: the discarded suffix
+            # never existed as far as replay is concerned, and the next
+            # append legitimately reuses its byte offsets (TX001 checks
+            # against this value).
+            self._last_lsn = self._last_durable_lsn
             return dropped
 
     # -- fault injection -------------------------------------------------

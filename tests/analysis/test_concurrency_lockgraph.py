@@ -1,0 +1,321 @@
+"""The static lock-order lint: CC rules, baseline, fixtures, CLI."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.check import main as check_main
+from repro.analysis.concurrency.baseline import BASELINE, apply_baseline
+from repro.analysis.concurrency.lockgraph import (
+    LockGraphAnalyzer,
+    analyze_paths,
+    analyze_tree,
+)
+
+FIXTURES = Path(__file__).resolve().parents[2] / (
+    "src/repro/analysis/concurrency/fixtures"
+)
+
+
+def _analyze(*sources: str):
+    analyzer = LockGraphAnalyzer()
+    for index, source in enumerate(sources):
+        analyzer.add_module(f"mod{index}", f"mod{index}.py", source)
+    analyzer.scan()
+    return analyzer.findings()
+
+
+# -- the real tree -------------------------------------------------------
+
+
+def test_tree_scan_is_baseline_clean():
+    kept, suppressed, stale = apply_baseline(analyze_tree())
+    assert kept == [], "\n".join(f.format() for f in kept)
+    assert stale == []
+    # Every curated entry still matches something real.
+    assert sorted(suppressed) == sorted(BASELINE)
+
+
+def test_known_intentional_patterns_are_found():
+    fingerprints = {f.fingerprint for f in analyze_tree()}
+    assert (
+        "CC002:repro/txn/wal.py:WriteAheadLog.flush:wal:os.fsync"
+        in fingerprints
+    )
+    assert (
+        "CC002:repro/storage/buffer.py:BufferPool.get_page:"
+        "buffer.stripe:time.sleep" in fingerprints
+    )
+    assert (
+        "CC003:repro/txn/txn.py:Transaction._acquire_write_lock:txn.commit"
+        in fingerprints
+    )
+
+
+# -- seeded fixtures -----------------------------------------------------
+
+
+def test_fixtures_trigger_every_cc_rule():
+    paths = [p for p in FIXTURES.glob("*.py") if p.name != "__init__.py"]
+    findings = analyze_paths(paths)
+    rules = {f.diagnostic.rule for f in findings}
+    assert {"CC001", "CC002", "CC003", "CC004"} <= rules
+
+
+def test_fixture_cycle_names_both_locks():
+    findings = analyze_paths([FIXTURES / "seeded_lock_order.py"])
+    cycle = [f for f in findings if f.diagnostic.rule == "CC001"]
+    assert cycle
+    messages = " ".join(f.diagnostic.message for f in cycle)
+    assert "fixture.alpha" in messages and "fixture.beta" in messages
+
+
+def test_fixture_io_finding_attributes_the_latch():
+    findings = analyze_paths([FIXTURES / "seeded_io_under_latch.py"])
+    io = [f for f in findings if f.diagnostic.rule == "CC002"]
+    assert len(io) == 1
+    assert "fixture.latch" in io[0].diagnostic.message
+    assert "time.sleep" in io[0].diagnostic.message
+
+
+# -- rule semantics on synthetic modules ---------------------------------
+
+
+def test_with_statement_never_triggers_cc003():
+    findings = _analyze(
+        "from repro.storage.locks import make_lock\n"
+        "L = make_lock('m.lock')\n"
+        "def f():\n"
+        "    with L:\n"
+        "        pass\n"
+    )
+    assert findings == []
+
+
+def test_raw_acquire_with_try_finally_is_clean():
+    findings = _analyze(
+        "from repro.storage.locks import make_lock\n"
+        "L = make_lock('m.lock')\n"
+        "def f():\n"
+        "    L.acquire()\n"
+        "    try:\n"
+        "        pass\n"
+        "    finally:\n"
+        "        L.release()\n"
+    )
+    assert [f.diagnostic.rule for f in findings] == []
+
+
+def test_raw_acquire_without_finally_flagged():
+    findings = _analyze(
+        "from repro.storage.locks import make_lock\n"
+        "L = make_lock('m.lock')\n"
+        "def f():\n"
+        "    L.acquire()\n"
+        "    L.release()\n"
+    )
+    assert [f.diagnostic.rule for f in findings] == ["CC003"]
+
+
+def test_one_directional_order_is_not_a_cycle():
+    findings = _analyze(
+        "from repro.storage.locks import make_lock\n"
+        "A = make_lock('m.a')\n"
+        "B = make_lock('m.b')\n"
+        "def f():\n"
+        "    with A:\n"
+        "        with B:\n"
+        "            pass\n"
+        "def g():\n"
+        "    with A:\n"
+        "        with B:\n"
+        "            pass\n"
+    )
+    assert findings == []
+
+
+def test_reversed_order_across_functions_is_a_cycle():
+    findings = _analyze(
+        "from repro.storage.locks import make_lock\n"
+        "A = make_lock('m.a')\n"
+        "B = make_lock('m.b')\n"
+        "def f():\n"
+        "    with A:\n"
+        "        with B:\n"
+        "            pass\n"
+        "def g():\n"
+        "    with B:\n"
+        "        with A:\n"
+        "            pass\n"
+    )
+    assert {f.diagnostic.rule for f in findings} == {"CC001"}
+
+
+def test_interprocedural_cycle_through_helper():
+    findings = _analyze(
+        "from repro.storage.locks import make_lock\n"
+        "A = make_lock('m.a')\n"
+        "B = make_lock('m.b')\n"
+        "def helper():\n"
+        "    with B:\n"
+        "        pass\n"
+        "def f():\n"
+        "    with A:\n"
+        "        helper()\n"
+        "def g():\n"
+        "    with B:\n"
+        "        with A:\n"
+        "            pass\n"
+    )
+    assert "CC001" in {f.diagnostic.rule for f in findings}
+
+
+def test_io_outside_lock_is_clean():
+    findings = _analyze(
+        "import time\n"
+        "from repro.storage.locks import make_lock\n"
+        "L = make_lock('m.lock')\n"
+        "def f():\n"
+        "    with L:\n"
+        "        pass\n"
+        "    time.sleep(0.1)\n"
+    )
+    assert findings == []
+
+
+def test_interprocedural_io_attributed_to_caller_lock():
+    findings = _analyze(
+        "import time\n"
+        "from repro.storage.locks import make_lock\n"
+        "L = make_lock('m.lock')\n"
+        "def slow():\n"
+        "    time.sleep(0.1)\n"
+        "def f():\n"
+        "    with L:\n"
+        "        slow()\n"
+    )
+    assert [f.diagnostic.rule for f in findings] == ["CC002"]
+    assert "m.lock" in findings[0].diagnostic.message
+
+
+def test_callee_io_under_its_own_lock_not_double_reported():
+    findings = _analyze(
+        "import time\n"
+        "from repro.storage.locks import make_lock\n"
+        "L = make_lock('m.outer')\n"
+        "M = make_lock('m.inner')\n"
+        "def slow():\n"
+        "    with M:\n"
+        "        time.sleep(0.1)\n"
+        "def f():\n"
+        "    with L:\n"
+        "        slow()\n"
+    )
+    # The callee's own CC002 (inner lock) is the only finding; the
+    # caller is not re-charged for I/O the callee covered.
+    assert [f.diagnostic.rule for f in findings] == ["CC002"]
+    assert "m.inner" in findings[0].diagnostic.message
+
+
+def test_unguarded_global_write_flagged():
+    findings = _analyze(
+        "CACHE = {}\n"
+        "def f(k, v):\n"
+        "    CACHE[k] = v\n"
+    )
+    assert [f.diagnostic.rule for f in findings] == ["CC004"]
+
+
+def test_guarded_global_write_is_clean():
+    findings = _analyze(
+        "from repro.storage.locks import make_lock\n"
+        "CACHE = {}\n"
+        "L = make_lock('m.lock')\n"
+        "def f(k, v):\n"
+        "    with L:\n"
+        "        CACHE[k] = v\n"
+    )
+    assert findings == []
+
+
+def test_contextvar_and_thread_local_exempt_from_cc004():
+    findings = _analyze(
+        "import threading\n"
+        "from contextvars import ContextVar\n"
+        "VAR = ContextVar('v')\n"
+        "LOCAL = threading.local()\n"
+        "def f(v):\n"
+        "    VAR.set(v)\n"
+        "    LOCAL.value = v\n"
+    )
+    assert findings == []
+
+
+def test_non_reentrant_self_nesting_flagged():
+    findings = _analyze(
+        "from repro.storage.locks import make_lock\n"
+        "L = make_lock('m.lock')\n"
+        "def f():\n"
+        "    with L:\n"
+        "        with L:\n"
+        "            pass\n"
+    )
+    assert [f.diagnostic.rule for f in findings] == ["CC001"]
+    assert "non-reentrant" in findings[0].diagnostic.message
+
+
+def test_reentrant_self_nesting_allowed():
+    findings = _analyze(
+        "from repro.storage.locks import make_lock\n"
+        "L = make_lock('m.lock', reentrant=True)\n"
+        "def f():\n"
+        "    with L:\n"
+        "        with L:\n"
+        "            pass\n"
+    )
+    assert findings == []
+
+
+def test_findings_render_with_caret_snippets():
+    findings = _analyze(
+        "import time\n"
+        "from repro.storage.locks import make_lock\n"
+        "L = make_lock('m.lock')\n"
+        "def f():\n"
+        "    with L:\n"
+        "        time.sleep(1)\n"
+    )
+    rendered = findings[0].format()
+    assert "mod0.py" in rendered
+    assert "^" in rendered  # the caret underline
+    assert "CC002" in rendered
+
+
+# -- the CLI -------------------------------------------------------------
+
+
+def test_check_concurrency_exits_clean(capsys):
+    assert check_main(["--concurrency"]) == 0
+    out = capsys.readouterr().out
+    assert "0 violation(s)" in out
+    assert "TX monitor smoke" in out
+
+
+def test_check_selftest_exits_clean(capsys):
+    assert check_main(["--selftest"]) == 0
+    out = capsys.readouterr().out
+    assert "selftest" in out
+
+
+def test_check_concurrency_combines_with_figure1(capsys):
+    assert check_main(["--concurrency", "--figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "concurrency lint" in out
+    assert "Kiessling" in out
+
+
+def test_check_without_queries_still_errors(capsys):
+    with pytest.raises(SystemExit):
+        check_main([])

@@ -1,0 +1,157 @@
+"""The runtime lock witness: cycles, upgrades, self-deadlocks."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.concurrency.witness import (
+    LockOrderError,
+    LockWitness,
+    WitnessLock,
+    witness,
+)
+from repro.storage.locks import RWLock, make_lock
+
+
+@pytest.fixture()
+def active_witness():
+    was_active = witness.active
+    witness.reset()
+    if not was_active:
+        witness.enable()
+    yield witness
+    witness.reset()
+    if not was_active:
+        witness.disable()
+
+
+def test_make_lock_wraps_when_active(active_witness):
+    lock = make_lock("t.wrapped")
+    assert isinstance(lock, WitnessLock)
+    assert lock.name == "t.wrapped"
+
+
+def test_make_lock_plain_when_inactive():
+    assert not witness.active  # the fixture is not used here
+    lock = make_lock("t.plain")
+    assert not isinstance(lock, WitnessLock)
+
+
+def test_consistent_order_records_edges(active_witness):
+    a = make_lock("t.a")
+    b = make_lock("t.b")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert active_witness.edge_count() == 1
+    active_witness.check()  # no violations
+
+
+def test_order_cycle_raises(active_witness):
+    a = make_lock("t.a")
+    b = make_lock("t.b")
+    with a:
+        with b:
+            pass
+    with pytest.raises(LockOrderError, match="lock-order cycle"):
+        with b:
+            with a:
+                pass
+    # The violation stays recorded for the teardown check.
+    with pytest.raises(LockOrderError, match="violation"):
+        active_witness.check()
+
+
+def test_cross_thread_cycle_detected(active_witness):
+    a = make_lock("t.a")
+    b = make_lock("t.b")
+    done = threading.Event()
+    errors: list[Exception] = []
+
+    def first_order() -> None:
+        try:
+            with a:
+                with b:
+                    pass
+        except Exception as exc:  # pragma: no cover - should not happen
+            errors.append(exc)
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=first_order)
+    thread.start()
+    assert done.wait(5.0)
+    thread.join(5.0)
+    assert not errors
+    # The other order, on this thread, contradicts the observed graph.
+    with pytest.raises(LockOrderError, match="lock-order cycle"):
+        with b:
+            with a:
+                pass
+
+
+def test_self_deadlock_on_plain_lock(active_witness):
+    lock = make_lock("t.self")
+    with pytest.raises(LockOrderError, match="self deadlock"):
+        with lock:
+            with lock:
+                pass
+
+
+def test_reentrant_lock_reacquire_is_fine(active_witness):
+    lock = make_lock("t.re", reentrant=True)
+    with lock:
+        with lock:
+            pass
+    active_witness.check()
+
+
+def test_rwlock_upgrade_raises(active_witness):
+    rw = RWLock(name="t.rw")
+    with pytest.raises(LockOrderError, match="upgrade"):
+        with rw.read():
+            with rw.write():
+                pass
+
+
+def test_rwlock_read_reentrancy_and_write_then_read(active_witness):
+    rw = RWLock(name="t.rw")
+    with rw.read():
+        with rw.read():
+            pass
+    with rw.write():
+        # Reading under the write side is RWLock-legal (reentrant).
+        with rw.read():
+            pass
+    active_witness.check()
+
+
+def test_disable_restores_passthrough(active_witness):
+    lock = make_lock("t.pass")
+    active_witness.disable()
+    try:
+        # No recording while disabled: a reversed order goes unnoticed.
+        other = make_lock("t.other")
+        with lock:
+            with other:
+                pass
+        with other:
+            with lock:
+                pass
+        assert active_witness.edge_count() == 0
+    finally:
+        active_witness.enable()
+
+
+def test_fresh_instance_is_independent():
+    # A private witness never touches the global factory until enabled.
+    private = LockWitness()
+    lock = private._make_lock("t.private", False)
+    private.active = True
+    with pytest.raises(LockOrderError):
+        with lock:
+            with lock:
+                pass

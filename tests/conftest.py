@@ -1,0 +1,39 @@
+"""Shared fixtures: the lock witness rides along on stress suites.
+
+Every test marked ``stress`` (and every test, when ``REPRO_WITNESS`` is
+set in the environment) runs with the runtime lock witness enabled:
+locks created during the test are wrapped, acquisition order is
+recorded, and the teardown re-raises any violation the test itself
+swallowed.  A multi-thread hammer test therefore fails on the *first
+observed* order inversion even when the interleaving that would
+actually deadlock never fires in that run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.concurrency.witness import witness
+
+
+@pytest.fixture(autouse=True)
+def lock_witness(request: pytest.FixtureRequest):
+    wanted = request.node.get_closest_marker("stress") is not None or bool(
+        os.environ.get("REPRO_WITNESS")
+    )
+    if not wanted:
+        yield
+        return
+    was_active = witness.active
+    witness.reset()
+    if not was_active:
+        witness.enable()
+    try:
+        yield
+        witness.check()
+    finally:
+        witness.reset()
+        if not was_active:
+            witness.disable()

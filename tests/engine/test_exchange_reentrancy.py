@@ -1,0 +1,104 @@
+"""Exchange-pool reentrancy under saturation.
+
+A bounded pool whose tasks submit sub-tasks to the same pool can
+deadlock: every worker blocks waiting for a sub-task that no free
+worker exists to run.  The exchange avoids that by running nested
+``run_tasks`` calls inline (``in_worker``).  This suite saturates all
+``POOL_MAX_WORKERS`` workers simultaneously — a barrier proves they
+really are all in flight — and has every task fan out again from
+inside the pool.  The conftest witness fixture rides along on the
+``stress`` marker, so any lock-order inversion the hammer exposes
+fails the test even if the losing interleaving never fires.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import exchange
+from repro.engine.exchange import POOL_MAX_WORKERS, run_tasks, shutdown_pool
+
+pytestmark = pytest.mark.stress
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    # The module-level pool may hold threads created before the witness
+    # was enabled; a fresh pool keeps lock bookkeeping per-test.
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def test_nested_submission_runs_inline_when_pool_saturated():
+    barrier = threading.Barrier(POOL_MAX_WORKERS, timeout=30.0)
+
+    def task(i: int):
+        # Block until every worker is occupied: if the nested call below
+        # tried to use the pool, there would be no worker left to serve
+        # it and the barrier timeout would fail the test instead of a
+        # hang.
+        barrier.wait()
+        assert exchange.in_worker()
+        inner = run_tasks([lambda j=j: (i, j) for j in range(4)])
+        assert inner == [(i, j) for j in range(4)]
+        return i
+
+    results = run_tasks(
+        [lambda i=i: task(i) for i in range(POOL_MAX_WORKERS)]
+    )
+    assert results == list(range(POOL_MAX_WORKERS))
+
+
+def test_deeply_nested_fan_out_completes():
+    def leaf(x: int) -> int:
+        return x * x
+
+    def mid(x: int) -> int:
+        return sum(run_tasks([lambda: leaf(x), lambda: leaf(x + 1)]))
+
+    def top(x: int) -> int:
+        return sum(run_tasks([lambda: mid(x), lambda: mid(x + 2)]))
+
+    results = run_tasks([lambda i=i: top(i) for i in range(32)])
+    expected = [
+        sum((i + d) ** 2 + (i + d + 1) ** 2 for d in (0, 2))
+        for i in range(32)
+    ]
+    assert results == expected
+
+
+def test_width_bound_respected_under_saturation():
+    active = 0
+    peak = 0
+    gate = threading.Lock()
+
+    def tracked() -> None:
+        nonlocal active, peak
+        with gate:
+            active += 1
+            peak = max(peak, active)
+        try:
+            threading.Event().wait(0.01)
+        finally:
+            with gate:
+                active -= 1
+
+    run_tasks([tracked for _ in range(POOL_MAX_WORKERS * 4)], width=4)
+    assert peak <= 4
+
+
+def test_error_in_nested_task_propagates_after_settlement():
+    started = threading.Barrier(8, timeout=30.0)
+
+    def failing(i: int):
+        started.wait()
+        if i == 3:
+            inner = [lambda: (_ for _ in ()).throw(ValueError("nested boom"))]
+            run_tasks(inner + [lambda: None])
+        return i
+
+    with pytest.raises(ValueError, match="nested boom"):
+        run_tasks([lambda i=i: failing(i) for i in range(8)])

@@ -1,0 +1,154 @@
+"""TX invariant monitors and the concurrency fixes they pinned."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Database
+from repro.txn import monitors
+from repro.txn.monitors import TxnInvariantError
+from repro.txn.mvcc import Snapshot, SnapshotManager
+from repro.txn.wal import WriteAheadLog
+
+
+# -- TX001: LSN monotonicity --------------------------------------------
+
+
+def test_appends_have_increasing_lsns():
+    wal = WriteAheadLog()
+    lsns = [wal.append("begin", 1), wal.append("insert", 1, table="T", rows=[[1]])]
+    assert lsns == sorted(lsns) and len(set(lsns)) == 2
+
+
+def test_lsn_regression_detected():
+    with pytest.raises(TxnInvariantError) as excinfo:
+        monitors.check_lsn_monotonic(10, 10)
+    assert excinfo.value.diagnostic.rule == "TX001"
+
+
+def test_discard_pending_rewinds_last_lsn():
+    """Regression: after discarding staged records their byte offsets are
+    legitimately reused; the monitor must not flag the reuse, and
+    last_lsn must not point at a record that no longer exists."""
+    wal = WriteAheadLog()
+    wal.append("begin", 1)
+    wal.flush()
+    durable = wal.last_lsn
+    wal.append("insert", 1, table="T", rows=[[1]])
+    assert wal.last_lsn > durable
+    wal.discard_pending()
+    assert wal.last_lsn == durable
+    # Reusing the discarded offset is fine — it never became durable.
+    lsn = wal.append("insert", 2, table="T", rows=[[2]])
+    assert lsn > durable
+
+
+# -- TX002: durability before visibility --------------------------------
+
+
+def test_skipped_flush_fixture_detected():
+    from repro.analysis.concurrency.fixtures.seeded_skipped_flush import (
+        commit_skipping_flush,
+    )
+
+    with pytest.raises(TxnInvariantError) as excinfo:
+        commit_skipping_flush()
+    assert excinfo.value.diagnostic.rule == "TX002"
+
+
+def test_real_commit_passes_tx002():
+    db = Database()
+    db.create_table("T", [("A", "int")])
+    with db.begin() as txn:
+        txn.insert("T", [(1,)])
+    assert db.query("SELECT COUNT(*) FROM T").rows == [(1,)]
+
+
+# -- TX003: publish advances by one, horizons grow ----------------------
+
+
+def test_publish_version_skip_detected():
+    with pytest.raises(TxnInvariantError) as excinfo:
+        monitors.check_publish(Snapshot(3, {}), Snapshot(5, {}))
+    assert excinfo.value.diagnostic.rule == "TX003"
+
+
+def test_publish_horizon_shrink_detected():
+    with pytest.raises(TxnInvariantError) as excinfo:
+        monitors.check_publish(Snapshot(3, {"T": 5}), Snapshot(4, {"T": 3}))
+    assert excinfo.value.diagnostic.rule == "TX003"
+
+
+def test_register_forget_keep_version():
+    snapshots = SnapshotManager()
+    snapshots.register_table("T", rows=2)
+    assert snapshots.data_version == 0
+    snapshots.publish({"T": 4})
+    assert snapshots.data_version == 1
+    snapshots.forget_table("T")
+    assert snapshots.data_version == 1
+
+
+# -- TX004: snapshot immutability ---------------------------------------
+
+
+def test_in_place_snapshot_mutation_detected():
+    snapshots = SnapshotManager()
+    snapshots.register_table("T", rows=2)
+    # Corrupt the "immutable" snapshot the way a buggy refactor would.
+    snapshots.current()._horizons["T"] = 99
+    with pytest.raises(TxnInvariantError) as excinfo:
+        snapshots.publish({"T": 100})
+    assert excinfo.value.diagnostic.rule == "TX004"
+
+
+def test_monitor_error_carries_diagnostic():
+    try:
+        monitors.check_lsn_monotonic(1, 0)
+    except TxnInvariantError as error:
+        assert error.diagnostic.rule == "TX001"
+        assert error.diagnostic.severity == "error"
+        assert "TX001" in str(error)
+    else:  # pragma: no cover
+        pytest.fail("expected TxnInvariantError")
+
+
+# -- the commit-lock leak fix (CC-driven) -------------------------------
+
+
+class _ExplodingIndex:
+    def build(self) -> None:
+        raise RuntimeError("index rebuild blew up")
+
+    def drop(self) -> None:
+        pass
+
+
+def test_commit_releases_lock_when_post_durability_step_fails():
+    """Regression: a failure after the WAL flush (index rebuild, publish)
+    used to leak the commit lock and wedge every later writer."""
+    db = Database()
+    db.create_table("T", [("A", "int")])
+    db.catalog.indexes[("T", "A")] = _ExplodingIndex()
+    txn = db.begin()
+    txn.insert("T", [(1,)])
+    with pytest.raises(RuntimeError, match="index rebuild blew up"):
+        txn.commit()
+    # Durable means committed, even though a later step failed.
+    assert txn.state == "committed"
+    # The commit lock must be free: the next writer gets through.
+    assert db.txn.commit_lock.acquire(blocking=False)
+    db.txn.commit_lock.release()
+    db.catalog.indexes.clear()
+    with db.begin() as txn2:
+        txn2.insert("T", [(2,)])
+    assert db.query("SELECT COUNT(*) FROM T").rows == [(2,)]
+
+
+def test_read_only_commit_counted_separately():
+    db = Database()
+    db.create_table("T", [("A", "int")])
+    with db.begin() as txn:
+        txn.query("SELECT COUNT(*) FROM T")
+    assert db.txn.read_only_commits == 1
+    assert db.txn.commits == 1
