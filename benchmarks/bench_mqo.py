@@ -1,0 +1,12 @@
+"""Multi-query optimization: shared replay + batched executemany.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_mqo.py [--smoke]
+
+See repro.bench.mqo for the measurement details and gates.
+"""
+
+from repro.bench.mqo import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,9 @@ the session::
     \\index TABLE COLUMN    build an index (used by nested iteration)
     \\tables                list tables
     \\cache                 plan-cache counters (hits/misses/...,
-                            snapshot-pin hits, memo flushes)
+                            snapshot-pin hits, memo flushes, shared
+                            materializations / cross-query hits /
+                            shared purges)
     \\txn                   transaction/WAL status (commits, aborts,
                             versions, pinned reads, log size)
     \\txn begin             open a transaction: INSERTs buffer in it,

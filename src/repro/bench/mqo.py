@@ -1,0 +1,304 @@
+"""Multi-query-optimization benchmark: sharing + batched bindings.
+
+Two legs, both timed end-to-end and both correctness-checked against
+SQLite before any number is reported:
+
+* **shared replay** — a seeded mixed workload (many outer query shapes
+  over few inner temp chains, interleaved with committed inserts that
+  flush every memo) replayed through two identically-built instances:
+  cross-query sharing ON vs OFF.  With sharing off every cached plan
+  rebuilds its own chain after each flush; with sharing on the first
+  plan to need a chain builds it and the rest lease it.  The gate
+  demands >= 1.3x throughput and >= 30% of temp installs served from
+  the registry.
+
+* **batched executemany** — one type-JA prepared statement executed
+  over N distinct parameter vectors, per-vector loop vs the batched
+  binding-relation plan (:mod:`repro.serve.batch`).  Distinct values
+  defeat every memo, so the loop rebuilds the temp chain N times while
+  the batched plan builds once; the gate demands >= 2x at N = 256.
+
+Results land in ``BENCH_PR10.json``:
+
+    PYTHONPATH=src python benchmarks/bench_mqo.py
+
+``--smoke`` runs a reduced replay (the batch leg keeps N = 256 — the
+gate is defined there), writes a ``.smoke.json`` sidecar, and exits
+non-zero unless every gate holds; CI runs it as the ``mqo-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from random import Random
+
+from repro.core.pipeline import Engine
+from repro.difftest.normalize import normalize_rows
+from repro.difftest.oracle import SQLiteOracle
+from repro.serve.cache import PlanCache
+from repro.workloads.generators import PartsSupplySpec, build_parts_supply
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR10.json"
+
+#: Gates (CI `mqo-smoke`): shared replay speedup, batched speedup,
+#: minimum fraction of temp installs served from the registry.
+MIN_REPLAY_SPEEDUP = 1.3
+MIN_BATCH_SPEEDUP = 2.0
+MIN_SHARED_FRACTION = 0.30
+
+#: Inner-chain cutoffs: 3 chains x 3 outer shapes = 9 plans that the
+#: sharing-off instance must each rebuild after every memo flush.
+CUTOFFS = ("1978-06-01", "1982-01-01", "1986-06-01")
+
+REPLAY_SPEC = PartsSupplySpec(
+    num_parts=100, num_supply=1200, rows_per_page=10, buffer_pages=64, seed=11
+)
+#: Writes are interleaved this often; each one flushes every memo and
+#: every registry entry (data events purge eagerly).
+WRITE_EVERY = 25
+
+BATCH_SPEC = PartsSupplySpec(
+    num_parts=50, num_supply=300, rows_per_page=10, buffer_pages=32, seed=23
+)
+BATCH_QUERY = (
+    "SELECT PNUM FROM PARTS WHERE QOH = "
+    "(SELECT COUNT(SHIPDATE) FROM SUPPLY "
+    "WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < ?)"
+)
+
+
+def replay_pool() -> list[str]:
+    """Nine type-JA shapes (3 outer blocks x 3 chains) plus a flat join."""
+    pool: list[str] = []
+    for cutoff in CUTOFFS:
+        inner = (
+            "(SELECT COUNT(SHIPDATE) FROM SUPPLY "
+            f"WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '{cutoff}')"
+        )
+        pool.extend(
+            [
+                f"SELECT PNUM FROM PARTS WHERE QOH = {inner}",
+                f"SELECT PNUM, QOH FROM PARTS WHERE QOH >= {inner}",
+                f"SELECT QOH FROM PARTS WHERE QOH < {inner}",
+            ]
+        )
+    pool.append(
+        "SELECT PARTS.PNUM FROM PARTS, SUPPLY "
+        "WHERE PARTS.PNUM = SUPPLY.PNUM AND SUPPLY.QUAN > 2"
+    )
+    return pool
+
+
+def _replay_events(queries: int, seed: int) -> list[tuple[str, object]]:
+    """The deterministic event sequence both instances replay."""
+    rng = Random(seed)
+    pool = replay_pool()
+    events: list[tuple[str, object]] = []
+    for step in range(queries):
+        if step % WRITE_EVERY == WRITE_EVERY - 1:
+            # A dangling-PNUM shipment: flushes memos/registry without
+            # perturbing any pool answer (no PARTS row matches).
+            events.append(
+                ("write", (9000 + step, rng.randrange(0, 6), "2050-01-01"))
+            )
+        else:
+            events.append(("query", rng.choice(pool)))
+    return events
+
+
+def _replay_engine(sharing: bool):
+    catalog = build_parts_supply(REPLAY_SPEC)
+    cache = PlanCache(sharing=sharing)
+    cache.attach(catalog)
+    return catalog, Engine(catalog, plan_cache=cache)
+
+
+def _run_replay(
+    events: list[tuple[str, object]], sharing: bool
+) -> tuple[float, dict, list]:
+    """Replay the events; (elapsed seconds, temp-install tally, engine)."""
+    catalog, engine = _replay_engine(sharing)
+    tally = {"shared": 0, "built": 0}
+    start = time.perf_counter()
+    for kind, payload in events:
+        if kind == "write":
+            catalog.insert("SUPPLY", [payload])
+            continue
+        report = engine.run_cached(payload, method="transform")
+        for step in report.steps:
+            if step.startswith("shared "):
+                tally["shared"] += 1
+            elif step.startswith(("built ", "reused ")):
+                tally["built"] += 1
+    elapsed = time.perf_counter() - start
+    return elapsed, tally, [catalog, engine]
+
+
+def measure_replay(queries: int, seed: int = 0) -> tuple[dict, list[str]]:
+    """The shared-replay leg: sharing ON vs OFF over one event sequence."""
+    events = _replay_events(queries, seed)
+    query_count = sum(1 for kind, _ in events if kind == "query")
+    write_count = len(events) - query_count
+
+    shared_s, shared_tally, (shared_catalog, shared_engine) = _run_replay(
+        events, sharing=True
+    )
+    unshared_s, _, (plain_catalog, plain_engine) = _run_replay(
+        events, sharing=False
+    )
+
+    failures: list[str] = []
+    # End-state correctness: every pool shape, sharing vs no-sharing vs
+    # SQLite over the final (post-write) contents.
+    with SQLiteOracle(shared_catalog) as oracle:
+        for sql in replay_pool():
+            ours = normalize_rows(
+                shared_engine.run_cached(sql, method="transform").result.rows
+            )
+            plain = normalize_rows(
+                plain_engine.run_cached(sql, method="transform").result.rows
+            )
+            if ours != normalize_rows(oracle.run(sql)):
+                failures.append(f"replay: sharing-on diverged from SQLite: {sql}")
+            if ours != plain:
+                failures.append(
+                    f"replay: sharing-on diverged from sharing-off: {sql}"
+                )
+
+    installs = shared_tally["shared"] + shared_tally["built"]
+    fraction = shared_tally["shared"] / installs if installs else 0.0
+    stats = shared_engine.plan_cache.stats()
+    record = {
+        "workload": "mqo-shared-replay",
+        "op": "replay",
+        "queries": query_count,
+        "writes": write_count,
+        "shared_fraction": round(fraction, 3),
+        "cross_query_hits": stats.shared_hits,
+        "shared_materializations": stats.shared_materializations,
+        "shared_purges": stats.shared_purges,
+        "shared_qps": round(query_count / shared_s, 1),
+        "unshared_qps": round(query_count / unshared_s, 1),
+        "speedup": round(unshared_s / shared_s, 2),
+    }
+    return record, failures
+
+
+def measure_batched(batch: int, seed: int = 0) -> tuple[dict, list[str]]:
+    """The batched-bindings leg: executemany vs the per-vector loop."""
+    catalog = build_parts_supply(BATCH_SPEC)
+    cache = PlanCache()
+    cache.attach(catalog)
+    engine = Engine(catalog, plan_cache=cache)
+    statement = engine.prepare(BATCH_QUERY)
+    vectors = [
+        (f"19{70 + i % 20}-{1 + (i // 20) % 12:02d}-{10 + i // 240:02d}",)
+        for i in range(batch)
+    ]
+    assert len(set(vectors)) == batch  # distinct values defeat every memo
+
+    failures: list[str] = []
+    batch_report = statement.execute_batch(vectors)
+    if batch_report.strategy != "batched":
+        failures.append("batched leg fell back to the loop strategy")
+    looped = [statement.execute(vector) for vector in vectors]
+    for vector, one, many in zip(vectors, looped, batch_report.reports):
+        if normalize_rows(one.result.rows) != normalize_rows(many.result.rows):
+            failures.append(f"batched != looped for vector {vector}")
+            break
+    with SQLiteOracle(catalog) as oracle:
+        probe = vectors[7]
+        oracle_rows = oracle.run(BATCH_QUERY.replace("?", f"'{probe[0]}'"))
+        if normalize_rows(batch_report.reports[7].result.rows) != (
+            normalize_rows(oracle_rows)
+        ):
+            failures.append(f"batched diverged from SQLite for {probe}")
+
+    start = time.perf_counter()
+    statement.executemany(vectors)
+    batched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for vector in vectors:
+        statement.execute(vector)
+    loop_s = time.perf_counter() - start
+
+    record = {
+        "workload": "mqo-batched-executemany",
+        "op": "executemany",
+        "batch": batch,
+        "batched_qps": round(batch / batched_s, 1),
+        "loop_qps": round(batch / loop_s, 1),
+        "speedup": round(loop_s / batched_s, 2),
+    }
+    return record, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_mqo.py",
+        description="Multi-query optimization: shared replay throughput "
+        "and batched executemany vs the per-vector loop.",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=1000,
+        help="replay events for the sharing leg (default 1000)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=256,
+        help="parameter vectors for the batched leg (default 256)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"result file (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced replay, .smoke.json sidecar; fail unless the "
+        f"shared replay is >= {MIN_REPLAY_SPEEDUP}x sharing-off with "
+        f">= {100 * MIN_SHARED_FRACTION:.0f}% shared installs and "
+        f"batched executemany is >= {MIN_BATCH_SPEEDUP}x the loop",
+    )
+    args = parser.parse_args(argv)
+
+    queries = 300 if args.smoke else args.queries
+    replay_record, failures = measure_replay(queries, seed=args.seed)
+    batch_record, batch_failures = measure_batched(args.batch, seed=args.seed)
+    failures.extend(batch_failures)
+    records = [replay_record, batch_record]
+
+    if replay_record["speedup"] < MIN_REPLAY_SPEEDUP:
+        failures.append(
+            f"shared replay speedup {replay_record['speedup']}x "
+            f"< {MIN_REPLAY_SPEEDUP}x"
+        )
+    if replay_record["shared_fraction"] < MIN_SHARED_FRACTION:
+        failures.append(
+            f"shared fraction {replay_record['shared_fraction']} "
+            f"< {MIN_SHARED_FRACTION}"
+        )
+    if batch_record["speedup"] < MIN_BATCH_SPEEDUP:
+        failures.append(
+            f"batched executemany speedup {batch_record['speedup']}x "
+            f"< {MIN_BATCH_SPEEDUP}x"
+        )
+
+    output = (
+        args.output.with_suffix(".smoke.json") if args.smoke else args.output
+    )
+    output.write_text(json.dumps(records, indent=2) + "\n")
+    for record in records:
+        print(json.dumps(record))
+    print(f"wrote {output}")
+    for line in failures:
+        print(f"FAIL {line}", file=sys.stderr)
+    print("mqo " + ("FAILED" if failures else "passed"))
+    return 1 if failures else 0

@@ -1,0 +1,242 @@
+"""Multi-query replay leg: shared subplans vs SQLite vs sharing-off.
+
+The classic difftest checks one query at a time; the sharing registry
+(:mod:`repro.serve.sharing`) only does interesting work *across*
+queries.  This leg replays a seeded mixed workload — a pool of query
+shapes deliberately built so distinct outer blocks need the same inner
+temp chains, interleaved with committed inserts — through
+
+1. a :class:`~repro.api.Database` with cross-query sharing ON,
+2. an identically-configured database with sharing OFF (the private
+   per-plan memo path), and
+3. a SQLite shadow fed the same rows,
+
+and demands every result agree across all three after every event.
+The inserts exercise eager invalidation mid-replay: a purged shared
+temp must never leak a stale row into a later answer.
+
+The leg fails if less than :data:`MIN_SHARED_FRACTION` of the temp
+installations were served from the registry — a replay that does not
+actually share is not testing the machinery it claims to.
+
+Legs run per (engine, parallelism) configuration; the CLI entry point
+(``python -m repro difftest --replay N``) crosses the row and
+vectorized engines with worker degrees 1 and 4.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+from dataclasses import dataclass, field
+
+from repro.api import Database
+from repro.difftest.normalize import normalize_rows
+
+#: Inner-chain cutoffs: two distinct values so the replay exercises
+#: value-keyed registry entries without drowning sharing in variety.
+CUTOFFS = ("1980-06-01", "1983-01-01")
+
+#: Queries whose replay shares less than this fraction of its temp
+#: installations does not validate the registry; the leg fails.
+MIN_SHARED_FRACTION = 0.30
+
+
+def query_pool() -> list[str]:
+    """Mixed shapes: several outer blocks per inner chain, plus noise.
+
+    The first three shapes per cutoff share the whole NEST-JA2 chain
+    (same correlated COUNT), so a healthy replay leases far more temps
+    than it builds; the trailing type-N/type-J shapes keep the mix
+    honest (different chains, no sharing).
+    """
+    pool: list[str] = []
+    for cutoff in CUTOFFS:
+        inner = (
+            "(SELECT COUNT(SHIPDATE) FROM SUPPLY "
+            f"WHERE SUPPLY.PNUM = PARTS.PNUM AND SHIPDATE < '{cutoff}')"
+        )
+        pool.extend(
+            [
+                f"SELECT PNUM FROM PARTS WHERE QOH = {inner}",
+                f"SELECT PNUM, QOH FROM PARTS WHERE QOH >= {inner}",
+                f"SELECT QOH FROM PARTS WHERE QOH < {inner}",
+            ]
+        )
+        pool.append(
+            "SELECT PNUM FROM PARTS WHERE PNUM IN "
+            f"(SELECT PNUM FROM SUPPLY WHERE SHIPDATE < '{cutoff}')"
+        )
+    pool.append(
+        "SELECT PARTS.PNUM FROM PARTS, SUPPLY "
+        "WHERE PARTS.PNUM = SUPPLY.PNUM AND SUPPLY.QUAN > 2"
+    )
+    return pool
+
+
+@dataclass
+class ReplayReport:
+    """Aggregate statistics of one multi-query replay run."""
+
+    legs: int = 0
+    queries: int = 0
+    writes: int = 0
+    shared_installs: int = 0
+    built_installs: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    @property
+    def shared_fraction(self) -> float:
+        total = self.shared_installs + self.built_installs
+        return self.shared_installs / total if total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"replay: {self.legs} leg(s), {self.queries} quer(ies), "
+            f"{self.writes} write(s), {self.shared_installs} shared / "
+            f"{self.built_installs} built temp install(s) "
+            f"({100.0 * self.shared_fraction:.1f}% shared), "
+            f"{len(self.failures)} failure(s)"
+        )
+
+
+def _seed_rows(rng: random.Random) -> tuple[list[tuple], list[tuple]]:
+    parts = [(pnum, rng.randrange(0, 8)) for pnum in range(1, 61)]
+    supply = [
+        (
+            rng.randrange(1, 61),
+            rng.randrange(0, 6),
+            f"19{70 + rng.randrange(0, 20)}-0{1 + rng.randrange(0, 9)}-15",
+        )
+        for _ in range(300)
+    ]
+    return parts, supply
+
+
+def _write_batch(rng: random.Random) -> tuple[str, list[tuple]]:
+    if rng.random() < 0.5:
+        start = rng.randrange(1000, 9000)
+        return "PARTS", [(start + i, rng.randrange(0, 8)) for i in range(3)]
+    return "SUPPLY", [
+        (
+            rng.randrange(1, 61),
+            rng.randrange(0, 6),
+            f"19{70 + rng.randrange(0, 20)}-03-01",
+        )
+        for _ in range(5)
+    ]
+
+
+def _make_database(engine: str, parallelism: int, sharing: bool) -> Database:
+    # dedupe_inner/outer on, like the classic difftest legs: the
+    # paper-faithful defaults reproduce Kim's Lemma-1 multiplicity
+    # caveat by design, and this leg checks the fixed-up pipeline.
+    db = Database(
+        buffer_pages=128,
+        engine=engine,
+        parallelism=parallelism,
+        parallel_threshold=0 if parallelism > 1 else None,
+        dedupe_inner=True,
+        dedupe_outer=True,
+    )
+    if not sharing:
+        from repro.serve.cache import PlanCache
+
+        db.plan_cache = PlanCache(sharing=False)
+        db.plan_cache.attach(db.catalog)
+        db.engine.plan_cache = db.plan_cache
+    db.create_table("PARTS", ["PNUM", "QOH"])
+    db.create_table("SUPPLY", ["PNUM", "QUAN", ("SHIPDATE", "text")])
+    return db
+
+
+def _make_shadow() -> sqlite3.Connection:
+    connection = sqlite3.connect(":memory:")
+    connection.execute('CREATE TABLE "PARTS" ("PNUM", "QOH")')
+    connection.execute('CREATE TABLE "SUPPLY" ("PNUM", "QUAN", "SHIPDATE")')
+    return connection
+
+
+def run_replay(
+    queries: int,
+    seed: int = 0,
+    engines: tuple[str, ...] = ("row", "vectorized"),
+    parallelisms: tuple[int, ...] = (1, 4),
+    write_every: int = 25,
+) -> ReplayReport:
+    """Replay ``queries`` events per (engine, parallelism) leg."""
+    report = ReplayReport()
+    pool = query_pool()
+    for engine in engines:
+        for parallelism in parallelisms:
+            leg = f"replay[{engine}|p{parallelism}]"
+            report.legs += 1
+            rng = random.Random(seed)
+            shared_db = _make_database(engine, parallelism, sharing=True)
+            plain_db = _make_database(engine, parallelism, sharing=False)
+            shadow = _make_shadow()
+            parts, supply = _seed_rows(rng)
+            for table, rows in (("PARTS", parts), ("SUPPLY", supply)):
+                shared_db.insert(table, rows)
+                plain_db.insert(table, rows)
+                marks = ", ".join("?" for _ in rows[0])
+                shadow.executemany(
+                    f'INSERT INTO "{table}" VALUES ({marks})', rows
+                )
+            shadow.commit()
+            for step in range(queries):
+                if write_every and step % write_every == write_every - 1:
+                    table, rows = _write_batch(rng)
+                    shared_db.insert(table, rows)
+                    plain_db.insert(table, rows)
+                    marks = ", ".join("?" for _ in rows[0])
+                    shadow.executemany(
+                        f'INSERT INTO "{table}" VALUES ({marks})', rows
+                    )
+                    shadow.commit()
+                    report.writes += 1
+                    continue
+                sql = rng.choice(pool)
+                shared_run = shared_db.execute_cached(sql)
+                plain_run = plain_db.execute_cached(sql)
+                oracle_rows = [
+                    tuple(row) for row in shadow.execute(sql).fetchall()
+                ]
+                report.queries += 1
+                for step_label in shared_run.steps:
+                    if step_label.startswith("shared "):
+                        report.shared_installs += 1
+                    elif step_label.startswith(
+                        ("built ", "reused ")
+                    ):
+                        report.built_installs += 1
+                ours = normalize_rows(shared_run.result.rows)
+                unshared = normalize_rows(plain_run.result.rows)
+                oracle = normalize_rows(oracle_rows)
+                if ours != oracle:
+                    report.failures.append(
+                        f"{leg} step {step}: sharing-on diverged from "
+                        f"SQLite\n  {sql}\n  ours:   {sorted(ours.items())[:5]}"
+                        f"\n  oracle: {sorted(oracle.items())[:5]}"
+                    )
+                if ours != unshared:
+                    report.failures.append(
+                        f"{leg} step {step}: sharing-on diverged from "
+                        f"sharing-off\n  {sql}"
+                    )
+            registry = shared_db.plan_cache.sharing
+            if registry is not None and any(
+                entry.active != 0 for entry in registry._entries.values()
+            ):
+                report.failures.append(f"{leg}: leaked registry lease")
+    if report.clean and report.shared_fraction < MIN_SHARED_FRACTION:
+        report.failures.append(
+            f"replay shared only {100.0 * report.shared_fraction:.1f}% of "
+            f"temp installs (< {100.0 * MIN_SHARED_FRACTION:.0f}%): the "
+            "workload is not exercising the sharing registry"
+        )
+    return report

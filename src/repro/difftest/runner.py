@@ -342,6 +342,16 @@ def main(argv: list[str] | None = None) -> int:
         help="also run STEPS interleaved transactional write/read steps "
         "against a SQLite shadow (see repro.difftest.mixed; default 0)",
     )
+    parser.add_argument(
+        "--replay",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also replay N mixed multi-query events per (engine, "
+        "parallelism) leg through the shared-subplan cache, checked "
+        "against SQLite and the sharing-disabled path "
+        "(see repro.difftest.replay; default 0)",
+    )
     args = parser.parse_args(argv)
 
     join_methods = tuple(
@@ -387,4 +397,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"--- MIXED DIVERGENCE ---\n{line}")
         print(mixed_report.summary())
         clean = clean and mixed_report.clean
+    if args.replay > 0:
+        from repro.difftest.replay import run_replay
+
+        replay_report = run_replay(queries=args.replay, seed=args.seed)
+        for line in replay_report.failures:
+            print(f"--- REPLAY DIVERGENCE ---\n{line}")
+        print(replay_report.summary())
+        clean = clean and replay_report.clean
     return 0 if clean else 1

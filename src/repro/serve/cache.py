@@ -49,8 +49,19 @@ class CacheStats:
     #: Hits on entries built before the latest data change — served by
     #: pinning the current snapshot rather than re-planning.
     snapshot_pin_hits: int = 0
-    #: Memoized temp materializations flushed by data events.
+    #: Memoized temp materializations flushed by data events (private
+    #: memo flushes plus shared entries purged by data events).
     memo_flushes: int = 0
+    #: Temp materializations published to the cross-plan sharing
+    #: registry (each built exactly once for all consuming plans).
+    shared_materializations: int = 0
+    #: Registry hits by a plan other than the publisher — work one
+    #: cached query materialized that another query then reused.
+    shared_hits: int = 0
+    #: Shared materializations dropped by eager invalidation (schema
+    #: and data events both purge: every registry key embeds the
+    #: version pair, so stale entries are purely reclaimable pages).
+    shared_purges: int = 0
 
     def format(self) -> str:
         total = self.hits + self.misses
@@ -62,19 +73,29 @@ class CacheStats:
             f"{self.invalidations} invalidation(s), "
             f"{self.evictions} eviction(s), "
             f"{self.snapshot_pin_hits} snapshot-pin hit(s), "
-            f"{self.memo_flushes} memo flush(es)"
+            f"{self.memo_flushes} memo flush(es), "
+            f"{self.shared_materializations} shared materialization(s), "
+            f"{self.shared_hits} cross-query hit(s), "
+            f"{self.shared_purges} shared purge(s)"
         )
 
 
 class PlanCache:
     """Bounded LRU of :class:`~repro.serve.plan.CachedPlan` objects."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, sharing: bool = True
+    ) -> None:
+        from repro.serve.sharing import SharedSubplanRegistry
+
         if capacity < 1:
             raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
         self._lock = make_lock("serve.plan_cache")
+        #: Cross-plan shared materializations (see repro.serve.sharing);
+        #: None disables sharing (plans fall back to private memos).
+        self.sharing = SharedSubplanRegistry() if sharing else None
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -94,6 +115,10 @@ class PlanCache:
                 for plan in self._entries.values():
                     if plan.data_changed():
                         self.memo_flushes += 1
+            if self.sharing is not None:
+                # Every registry key embeds the data version, so the
+                # entries can never be hit again; reclaim their pages.
+                self.sharing.purge_all("data")
             return
         with self._lock:
             if self._entries:
@@ -101,6 +126,10 @@ class PlanCache:
                 for plan in self._entries.values():
                     plan.release()
                 self._entries.clear()
+        if self.sharing is not None:
+            # Plans built outside this cache (prepared statements) may
+            # hold registry entries too; purge those as well.
+            self.sharing.purge_all("schema")
 
     # -- access ------------------------------------------------------------
 
@@ -153,6 +182,7 @@ class PlanCache:
             return len(self._entries)
 
     def stats(self) -> CacheStats:
+        registry = self.sharing
         with self._lock:
             return CacheStats(
                 hits=self.hits,
@@ -162,7 +192,13 @@ class PlanCache:
                 size=len(self._entries),
                 capacity=self.capacity,
                 snapshot_pin_hits=self.snapshot_pin_hits,
-                memo_flushes=self.memo_flushes,
+                memo_flushes=self.memo_flushes
+                + (registry.data_purges if registry is not None else 0),
+                shared_materializations=(
+                    registry.materializations if registry is not None else 0
+                ),
+                shared_hits=registry.cross_hits if registry is not None else 0,
+                shared_purges=registry.purges if registry is not None else 0,
             )
 
     def reset_stats(self) -> None:
@@ -173,3 +209,5 @@ class PlanCache:
             self.evictions = 0
             self.snapshot_pin_hits = 0
             self.memo_flushes = 0
+        if self.sharing is not None:
+            self.sharing.reset_stats()

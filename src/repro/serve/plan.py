@@ -101,6 +101,14 @@ class CachedPlan:
     #: temp contents are a pure function of (base data @ version, these
     #: values), so materialized temps are memoized per value sub-vector.
     setup_param_indices: tuple[int, ...] = ()
+    #: Per-definition structural fingerprints + parameter slots (see
+    #: :mod:`repro.serve.sharing`); empty for nested-iteration plans.
+    share_specs: tuple = ()
+    #: The plan cache's SharedSubplanRegistry, or None when the engine
+    #: serves without a plan cache.  When set, materialized setup temps
+    #: are published to / leased from the registry (shared across
+    #: plans) instead of the private ``_temp_memo``.
+    registry: object | None = field(default=None, repr=False, compare=False)
     _temp_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -134,12 +142,16 @@ class CachedPlan:
 
         Deferred while executions are in flight: the last replay's
         cleanup performs the truncation, so a reader never loses pages
-        under its feet.
+        under its feet.  Shared-registry handles this plan holds are
+        dropped too (idempotently — double release is safe): entries no
+        other plan holds are freed by the registry.
         """
         with self._temp_lock:
             self._released = True
             if self._active == 0:
                 self._truncate_memo_locked()
+        if self.registry is not None:
+            self.registry.drop_holder(self)
 
     def data_changed(self) -> bool:
         """Flush memoized temps after a committed insert.
@@ -199,6 +211,7 @@ class CachedPlan:
         check_binding(self.param_specs, values)
         session = SessionCatalog(catalog)
         before = session.buffer.stats()
+        leases: list = []
         self._acquire()
         try:
             with (
@@ -219,7 +232,9 @@ class CachedPlan:
                 assert self.transform is not None
                 assert self.final_query is not None
                 try:
-                    steps = self._install_temps(session, values, snapshot)
+                    steps = self._install_temps(
+                        session, values, snapshot, leases
+                    )
                     final = SingleLevelExecutor(
                         session, self.join_method, verify=False,
                         engine=self.engine,
@@ -247,6 +262,10 @@ class CachedPlan:
                 finally:
                     session.drop_temp_tables()
         finally:
+            # Leases pin shared heaps for the whole execution (the
+            # final query reads them); returned only after cleanup.
+            for lease in leases:
+                self.registry.release_lease(lease)
             self._release_slot()
 
     def _install_temps(
@@ -254,18 +273,22 @@ class CachedPlan:
         session: SessionCatalog,
         values: tuple[object, ...],
         snapshot: object = None,
+        leases: list | None = None,
     ) -> list[str]:
         """Make the plan's temp tables visible in ``session``.
 
         Temp contents depend only on the committed base data (pinned by
         the active snapshot) and the parameter slots their definitions
-        read, so materialized heaps are memoized per (snapshot data
-        version, value sub-vector): a hit registers the shared heaps
-        read-only; a miss builds them and donates the heaps to the memo
-        (unless it is full or the plan was released mid-flight).
+        read, so materialized heaps can be reused across calls — and,
+        through the plan cache's :class:`SharedSubplanRegistry`, across
+        *plans*: per definition, a structurally identical temp already
+        materialized by any cached plan under the same snapshot, engine
+        config, and bound values is leased instead of rebuilt.  Without
+        a registry (no plan cache attached) the whole chain is memoized
+        privately per (snapshot data version, value sub-vector).
         Executions under a transaction's read-your-writes overlay
-        bypass the memo entirely — their temps may contain uncommitted
-        rows no other reader must ever see.
+        bypass both paths entirely — their temps may contain
+        uncommitted rows no other reader must ever see.
         """
         from repro.txn.mvcc import TransactionSnapshot
 
@@ -273,6 +296,13 @@ class CachedPlan:
         if not self.transform.setup:
             return []
         private = isinstance(snapshot, TransactionSnapshot)
+        if (
+            not private
+            and leases is not None
+            and self.registry is not None
+            and len(self.share_specs) == len(self.transform.setup)
+        ):
+            return self._install_temps_shared(session, values, snapshot, leases)
         memo_key = (
             getattr(snapshot, "data_version", -1),
             tuple(values[i] for i in self.setup_param_indices),
@@ -309,6 +339,61 @@ class CachedPlan:
                 self._temp_memo[memo_key] = built
                 for name, _heap, _columns in built:
                     session.mark_shared(name)
+        return steps
+
+    def _install_temps_shared(
+        self,
+        session: SessionCatalog,
+        values: tuple[object, ...],
+        snapshot: object,
+        leases: list,
+    ) -> list[str]:
+        """Install temps through the cross-plan sharing registry.
+
+        Definitions are keyed individually (cumulative fingerprints),
+        so two plans sharing only a prefix of their chains still share
+        that prefix.  A miss builds the definition — reading upstream
+        temps already registered in the session, leased or built — and
+        publishes the heap; publication transfers ownership to the
+        registry (``mark_shared``), so the session's cleanup
+        unregisters the name without truncating the pages.
+        """
+        assert self.transform is not None
+        registry = self.registry
+        share_config = self.config[1:]  # drop the method component
+        data_version = getattr(snapshot, "data_version", -1)
+        steps: list[str] = []
+        for definition, spec in zip(self.transform.setup, self.share_specs):
+            key = (
+                spec.fingerprint,
+                share_config,
+                self.catalog_version,
+                data_version,
+                tuple(values[i] for i in spec.param_slots),
+            )
+            entry = registry.acquire(key, self)
+            if entry is not None:
+                leases.append(entry)
+                session.register_shared_temp(
+                    definition.name, entry.heap, entry.columns
+                )
+                steps.append(f"shared {definition.name}")
+                continue
+            executor = SingleLevelExecutor(
+                session, self.join_method, verify=False, engine=self.engine,
+                parallelism=self.parallelism,
+                parallel_threshold=self.parallel_threshold,
+            )
+            relation = executor.execute(definition.query)
+            columns = executor.output_names(definition.query)
+            session.register_temp(definition.name, relation.heap, columns)
+            entry = registry.publish(
+                key, relation.heap, columns, self, session.data_version
+            )
+            if entry is not None:
+                session.mark_shared(definition.name)
+                leases.append(entry)
+            steps.append(f"built {definition.name}")
         return steps
 
 
@@ -413,7 +498,9 @@ def build_plan(
                         }
                     )
                 )
-                return CachedPlan(
+                from repro.serve.sharing import compute_share_specs
+
+                plan = CachedPlan(
                     fingerprint=fingerprint,
                     config=config,
                     catalog_version=version,
@@ -430,7 +517,14 @@ def build_plan(
                     strip=strip,
                     verify_trace=verify_trace,
                     setup_param_indices=setup_params,
+                    share_specs=compute_share_specs(transform),
                 )
+                cache = getattr(engine, "plan_cache", None)
+                if cache is not None:
+                    # None when sharing is disabled; an (empty) registry
+                    # defines __len__, so test identity, not truth.
+                    plan.registry = getattr(cache, "sharing", None)
+                return plan
             except ParameterizedPlanError:
                 # Must reach the caller: the plan shape depends on
                 # parameter values, so the serving layer plans per

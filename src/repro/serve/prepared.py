@@ -32,7 +32,15 @@ from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 
 from repro.core.pipeline import Engine, RunReport, prepare_query
-from repro.errors import BindError, ParameterizedPlanError
+from repro.errors import BindError, ParameterizedPlanError, ReproError
+from repro.serve.batch import (
+    BatchIneligible,
+    BatchPlan,
+    BatchReport,
+    build_batch_plan,
+    execute_batch_plan,
+    total_io,
+)
 from repro.serve.binding import check_binding, derive_param_specs
 from repro.serve.normalize import fingerprint, substitute_params, user_param_count
 from repro.serve.plan import CachedPlan, NonCacheablePlan, build_plan
@@ -62,6 +70,8 @@ class PreparedStatement:
         self._lock = make_lock("serve.prepared")
         self._plan: CachedPlan | None = None
         self._custom: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        #: (generic plan, derived batch plan or None) — see executemany.
+        self._batch: tuple[CachedPlan, BatchPlan | None] | None = None
         self._specs_version: int | None = None
         self.param_specs = self._derive_specs()
         self.mode = self._plan_initial()
@@ -150,7 +160,83 @@ class PreparedStatement:
     def executemany(
         self, vectors: Sequence[Sequence[object] | Mapping[str, object]]
     ) -> list[RunReport]:
-        return [self.execute(vector) for vector in vectors]
+        """Bind and run every vector; one report per vector, in order.
+
+        Generic transform plans run the whole batch as ONE set-oriented
+        plan: the vectors become an in-memory binding relation joined
+        through the temp chain and final query (see
+        :mod:`repro.serve.batch`).  Shapes the batching rewrite cannot
+        prove correct fall back to a per-vector loop.  Either way a
+        single MVCC snapshot is pinned for the whole batch, so every
+        vector's result reflects the same committed state even while
+        writers commit concurrently.
+        """
+        return self.execute_batch(vectors).reports
+
+    def execute_batch(
+        self, vectors: Sequence[Sequence[object] | Mapping[str, object]]
+    ) -> BatchReport:
+        """Like :meth:`executemany`, returning the full batch report."""
+        bound = [self._vector(vector) for vector in vectors]
+        catalog = self.engine.catalog
+        if len(bound) < 2 or self.mode != "generic" or self.param_count == 0:
+            return self._loop_batch(bound)
+        version = catalog.schema_version
+        if self._specs_version != version:
+            self.param_specs = self._derive_specs()
+        for vector in bound:
+            check_binding(self.param_specs, vector)
+        with self._lock:
+            plan = self._plan
+            if plan is None or plan.catalog_version != version:
+                if plan is not None:
+                    plan.release()
+                self._plan = plan = build_plan(
+                    self.engine, self.select, self.method, self.fingerprint
+                )
+            batch_plan = self._batch_plan_for(plan)
+        if batch_plan is None:
+            return self._loop_batch(bound)
+        try:
+            reports = execute_batch_plan(plan, batch_plan, catalog, bound)
+        except ReproError:
+            # A shape the structural guards missed surfaced at run
+            # time; remember the plan does not batch and fall back.
+            with self._lock:
+                self._batch = (plan, None)
+            return self._loop_batch(bound)
+        return BatchReport(
+            reports=reports,
+            strategy="batched",
+            batch_size=len(bound),
+            io=reports[0].io if reports else total_io(reports),
+        )
+
+    def _batch_plan_for(self, plan: CachedPlan) -> BatchPlan | None:
+        """The derived batch plan for ``plan`` (cached; None = no batch)."""
+        cached = self._batch
+        if cached is not None and cached[0] is plan:
+            return cached[1]
+        try:
+            batch_plan = build_batch_plan(plan, self.engine.catalog)
+        except BatchIneligible:
+            batch_plan = None
+        self._batch = (plan, batch_plan)
+        return batch_plan
+
+    def _loop_batch(self, vectors: list[tuple[object, ...]]) -> BatchReport:
+        catalog = self.engine.catalog
+        # One snapshot for the whole batch: without this, each execute
+        # re-pins and a concurrent commit could split the batch across
+        # two data versions.  Reentrant — executes reuse the pin.
+        with catalog.snapshots.pinned():
+            reports = [self.execute(vector) for vector in vectors]
+        return BatchReport(
+            reports=reports,
+            strategy="loop",
+            batch_size=len(vectors),
+            io=total_io(reports),
+        )
 
     def _run_generic(
         self, vector: tuple[object, ...], version: int

@@ -188,8 +188,26 @@ class TestReplayIsolation:
             not db.catalog.get(name).is_temp for name in db.tables()
         )
 
-    def test_memoized_temps_are_freed_on_invalidation(self):
+    def test_shared_temps_are_freed_on_invalidation(self):
+        """With sharing on, materializations live in the registry."""
         db = make_db()
+        db.execute_cached(JA_QUERY)
+        db.execute_cached(JA_QUERY)  # replay leases the shared temps
+        registry = db.plan_cache.sharing
+        assert len(registry) > 0
+        heaps = [entry.heap for entry in registry._entries.values()]
+        db.insert("PARTS", [(99, 5)])
+        assert len(registry) == 0
+        assert all(heap.num_rows == 0 for heap in heaps)
+
+    def test_memoized_temps_are_freed_on_invalidation(self):
+        """With sharing off, the private per-plan memo still applies."""
+        from repro.serve.cache import PlanCache
+
+        db = make_db()
+        db.plan_cache = PlanCache(sharing=False)
+        db.plan_cache.attach(db.catalog)
+        db.engine.plan_cache = db.plan_cache
         db.execute_cached(JA_QUERY)
         db.execute_cached(JA_QUERY)  # replay hits the temp memo
         plan = next(iter(db.plan_cache._entries.values()))
